@@ -1,0 +1,33 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test test-fast bench experiments full-scale examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python scripts/make_experiments_md.py
+
+full-scale:
+	python scripts/run_full_scale.py
+
+examples:
+	python examples/quickstart.py
+	python examples/design_space_exploration.py
+	python examples/custom_workload.py
+	python examples/characterize_workload.py --fast
+	python examples/reduction_strategies.py
+	python examples/simulated_chip_design.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/reports
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,60 @@
+"""Ablation benchmarks: design-choice probes beyond the paper's figures.
+
+These exercise the knobs DESIGN.md calls out: the perf(r) exponent, the
+interconnect topology behind growcomm, the reduction-strategy choice
+measured on the simulator, and the optimal-r surface over the parameter
+cube.
+"""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_perf_exponent(benchmark, save_report):
+    report = benchmark(run_experiment, "ablation-perf")
+    save_report(report)
+    assert report.all_match, report.render()
+    rows = report.raw["rows"]
+    # with perfect area returns (theta=1) bigger cores are free, so the
+    # optimum uses at least as large cores as the paper's sqrt law
+    by_theta = {theta: r for theta, r, _ in rows}
+    assert by_theta[1.0] >= by_theta[0.5]
+
+
+def test_ablation_topology(benchmark, save_report):
+    report = benchmark(run_experiment, "ablation-topology")
+    save_report(report)
+    assert report.all_match, report.render()
+    peaks = report.raw["peaks"]
+    # Eq 8's closed form sits between the exact mesh and the exact ring
+    assert peaks["mesh (exact)"] >= peaks["mesh (Eq 8)"] >= peaks["ring (exact)"]
+
+
+def test_ablation_reduction_strategy(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_experiment("ablation-reduction", scale=0.06),
+        rounds=1, iterations=1,
+    )
+    save_report(report)
+    assert report.all_match, report.render()
+    rows = report.raw["rows"]
+    # measured on the simulator: tree merge grows slower than serial merge
+    assert rows["tree"]["growth"] < rows["serial"]["growth"]
+
+
+def test_ablation_optimal_r_map(benchmark, save_report):
+    report = benchmark(run_experiment, "ablation-rmap")
+    save_report(report)
+    assert report.all_match, report.render()
+    grid = report.raw["grid"]
+    assert np.all(np.diff(grid, axis=1) >= 0)  # fewer, larger cores
+
+
+def test_ablation_machine_model(benchmark, save_report):
+    """Extracted parameters are robust across DRAM/bus/NoC/protocol models."""
+    report = benchmark.pedantic(
+        lambda: run_experiment("ablation-machine"), rounds=1, iterations=1
+    )
+    save_report(report)
+    assert report.all_match, report.render()

@@ -1,0 +1,72 @@
+"""Benchmarks for the extension experiments (the paper's future work plus
+beyond-scope probes)."""
+
+from repro.experiments import run_experiment
+
+
+def test_ext_critical_sections(benchmark, save_report):
+    report = benchmark(run_experiment, "ext-critical")
+    save_report(report)
+    assert report.all_match, report.render()
+
+
+def test_ext_energy(benchmark, save_report):
+    report = benchmark(run_experiment, "ext-energy")
+    save_report(report)
+    assert report.all_match, report.render()
+
+
+def test_ext_scaled(benchmark, save_report):
+    report = benchmark(run_experiment, "ext-scaled")
+    save_report(report)
+    assert report.all_match, report.render()
+
+
+def test_ext_contention(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_experiment("ext-contention"), rounds=1, iterations=1
+    )
+    save_report(report)
+    assert report.all_match, report.render()
+
+
+def test_ext_acmp_simulation(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_experiment("ext-acmp-sim"), rounds=1, iterations=1
+    )
+    save_report(report)
+    assert report.all_match, report.render()
+
+
+def test_ext_crossover_simulation(benchmark, save_report):
+    """Conclusion (b) with no analytic model in the loop: an interior core
+    size wins on a simulated merge-heavy workload."""
+    report = benchmark.pedantic(
+        lambda: run_experiment("ext-crossover-sim"), rounds=1, iterations=1
+    )
+    save_report(report)
+    assert report.all_match, report.render()
+    cycles = report.raw["cycles"]
+    assert min(cycles, key=cycles.get) not in (1, 16)
+
+
+def test_ext_falsesharing(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_experiment("ext-falsesharing"), rounds=1, iterations=1
+    )
+    save_report(report)
+    assert report.all_match, report.render()
+
+
+def test_ext_locked_reduction(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_experiment("ext-locked-reduction"), rounds=1, iterations=1
+    )
+    save_report(report)
+    assert report.all_match, report.render()
+
+
+def test_ext_mix(benchmark, save_report):
+    report = benchmark(run_experiment, "ext-mix")
+    save_report(report)
+    assert report.all_match, report.render()

@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures, asserts
+the qualitative shape (who wins, where peaks fall), and writes the rendered
+report to ``benchmarks/reports/<experiment>.txt`` so the regenerated
+rows/series are inspectable after the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture
+def save_report(report_dir):
+    """Write an ExperimentReport's rendering to the reports directory."""
+
+    def _save(report) -> None:
+        path = report_dir / f"{report.experiment_id}.txt"
+        path.write_text(report.render() + "\n")
+
+    return _save

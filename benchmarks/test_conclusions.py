@@ -1,0 +1,17 @@
+"""Benchmark: the paper's Section VII conclusions over a 48-point grid."""
+
+from repro.experiments import run_experiment
+
+
+def test_conclusions_hold_across_design_space(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_experiment("conclusions"), rounds=1, iterations=1
+    )
+    save_report(report)
+    assert report.all_match, report.render()
+
+    means = report.raw["means"]
+    # the quantitative spine of conclusion (c): at 80% overhead the mean
+    # advantage is ~1.3x while Amdahl promises ~1.9x
+    assert means[0.8] < 1.5
+    assert report.raw["amdahl_means"][0.8] > 1.7

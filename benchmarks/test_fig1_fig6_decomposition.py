@@ -1,0 +1,15 @@
+"""Benchmarks: Figs 1 and 6 (fraction-decomposition diagrams)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig1_serial_split(benchmark, save_report):
+    report = benchmark(run_experiment, "fig1")
+    save_report(report)
+    assert report.all_match, report.render()
+
+
+def test_fig6_reduction_split(benchmark, save_report):
+    report = benchmark(run_experiment, "fig6")
+    save_report(report)
+    assert report.all_match, report.render()

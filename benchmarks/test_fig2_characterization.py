@@ -1,0 +1,53 @@
+"""Benchmark: regenerate Fig 2 (application characterisation, 4 panels).
+
+(a) scalability to 16 cores; (b) serial-section growth in simulation;
+(c) the same on the modelled Xeon; (d) extended-model accuracy.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig2_report():
+    return run_experiment("fig2", scale=0.12, mem_scale=2)
+
+
+def test_fig2_all_panels(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_experiment("fig2", scale=0.12, mem_scale=2),
+        rounds=1, iterations=1,
+    )
+    save_report(report)
+    assert report.all_match, report.render()
+
+
+def test_fig2a_scalability_shape(fig2_report):
+    speedups = fig2_report.raw["speedups"]
+    # kmeans and fuzzy near-linear; hop visibly below them (paper: 13.5 vs 16)
+    assert speedups["kmeans"][16] > 11
+    assert speedups["fuzzy"][16] > 11
+    assert speedups["hop"][16] < min(speedups["kmeans"][16], speedups["fuzzy"][16])
+
+
+def test_fig2b_serial_growth_shape(fig2_report):
+    growth = fig2_report.raw["growth"]
+    for name, curve in growth.items():
+        # strictly growing serial sections, not the constant 1.0 Amdahl assumes
+        values = [curve[p] for p in sorted(curve)]
+        assert values == sorted(values), name
+        assert curve[16] > 1.5, name
+
+
+def test_fig2c_hardware_growth_shape(fig2_report):
+    hw = fig2_report.raw["hw_growth"]
+    for name, curve in hw.items():
+        assert curve[8] > curve[1], name
+
+
+def test_fig2d_model_accuracy(fig2_report):
+    # model tracks the measured growth within the ballpark the paper reports
+    for c in fig2_report.comparisons:
+        if "2(d)" in c.claim:
+            assert c.matches(), c.claim

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig 3 (scalability prediction, Amdahl vs extended).
+
+Uses the paper's own Table II parameters, so this is an exact reproduction:
+Amdahl's curves keep climbing to 256 cores while the extended model's taper
+off at far fewer cores.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig3_prediction(benchmark, save_report):
+    report = benchmark(run_experiment, "fig3")
+    save_report(report)
+    assert report.all_match, report.render()
+
+    for app in ("kmeans", "fuzzy", "hop"):
+        data = report.raw[app]
+        amdahl, extended = data["amdahl"], data["extended"]
+        # Amdahl monotone to 256; extended strictly below it from 2 cores on
+        assert all(b >= a for a, b in zip(amdahl, amdahl[1:]))
+        assert all(e < a for a, e in zip(amdahl[1:], extended[1:]))
+
+    # hop peaks earliest (superlinear growth), fuzzy latest (smallest s)
+    peaks = {app: report.raw[app]["peak"][0] for app in ("kmeans", "fuzzy", "hop")}
+    assert peaks["hop"] < peaks["kmeans"] < peaks["fuzzy"]

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig 7 (communication-aware model, 2 panels).
+
+Exact reproduction of Eqs 6–8: parallel reduction on a 2D mesh.  Peaks
+46.6 (sym, r=8) and 51.6 (asym, r=4) asserted to 0.5%.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig7_communication(benchmark, save_report):
+    report = benchmark(run_experiment, "fig7")
+    save_report(report)
+    assert report.all_match, report.render()
+
+
+def test_fig7_quantitative_anchors():
+    report = run_experiment("fig7")
+    sizes, sym = report.raw["symmetric"]
+    peaks = report.raw["asymmetric_peaks"]
+    assert abs(float(sym.max()) - 46.6) < 0.2
+    assert abs(max(peaks.values()) - 51.6) < 0.2
+    # communication pushes the symmetric optimum from Hill-Marty's r=2 to r=8
+    import numpy as np
+
+    assert sizes[int(np.argmax(sym))] == 8.0

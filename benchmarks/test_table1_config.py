@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table I (baseline configuration)."""
+
+from repro.experiments import run_experiment
+
+
+def test_table1_baseline_configuration(benchmark, save_report):
+    report = benchmark(run_experiment, "table1")
+    save_report(report)
+    text = report.render()
+    # the Table I rows
+    assert "32, 16, 64" in text
+    assert "16K/64K 2/4 way private" in text
+    assert "4M 16 way shared, MESI" in text
+    assert "2level GAp 2048 entr., 512" in text

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table II (application parameters from simulation).
+
+The paper measures kmeans/fuzzy/hop on SESC up to 16 cores and reports the
+serial fraction and its fcon/fred/fored decomposition.  We sweep the same
+workloads on our simulator.  Absolute percentages depend on dataset scale;
+the asserted shape is the paper's: tiny serial fractions, a substantial
+reduction share, positive growth for all three, superlinear for hop, and a
+kmeans fcon/fred split near 57/43.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_table2_application_parameters(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_experiment("table2", scale=0.12),
+        rounds=1, iterations=1,
+    )
+    save_report(report)
+    assert report.all_match, report.render()
+
+    extracted = report.raw["extracted"]
+    # paper shape: hop has the biggest constant share, fuzzy the smallest
+    # serial fraction of the two center-based methods
+    assert extracted["hop"].fcon_share > extracted["kmeans"].fcon_share
+    assert extracted["fuzzy"].serial_pct < extracted["kmeans"].serial_pct
+    # all three applications are overwhelmingly parallel
+    for name, ep in extracted.items():
+        assert ep.serial_pct < 2.0, name

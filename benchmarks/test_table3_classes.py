@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table III (application classes)."""
+
+from repro.experiments import run_experiment
+
+
+def test_table3_application_classes(benchmark, save_report):
+    report = benchmark(run_experiment, "table3")
+    save_report(report)
+    rows = report.tables[0].rows
+    assert len(rows) == 8
+    # the exact parameter grid of the paper
+    f_values = {row[3] for row in rows}
+    assert f_values == {"0.999", "0.99"}
+    fcon_values = {row[4] for row in rows}
+    assert fcon_values == {"90", "60"}
+    fored_values = {row[5] for row in rows}
+    assert fored_values == {"10", "80"}

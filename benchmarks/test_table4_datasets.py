@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table IV (dataset sensitivity).
+
+Sweeps kmeans/fuzzy over the dim/point/center-scaled variants and hop over
+default/medium particle sets, asserting the paper's trends: scaling points
+raises f; scaling dimensions or centers leaves the shares roughly
+unchanged; hop's merge share rises on the larger set.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_table4_dataset_sensitivity(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_experiment("table4", scale=0.06),
+        rounds=1, iterations=1,
+    )
+    save_report(report)
+    assert report.all_match, report.render()
+
+    extracted = report.raw["extracted"]
+    # all ten Table IV rows regenerated
+    assert len(extracted) == 10
+    # every variant stays overwhelmingly parallel (f > 0.98)
+    for label, ep in extracted.items():
+        assert ep.serial_pct < 2.0, label

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Chip-architect scenario: choose a 256-BCE design for a workload mix.
+
+An architect has a transistor budget of 256 base-core equivalents and a
+portfolio of applications with different merging-phase profiles.  This
+example:
+
+1. maps the optimal symmetric core size across the (fcon, fored) plane;
+2. prints the speedup-vs-core-count Pareto front for one workload;
+3. quantifies when an asymmetric design is still worth building;
+4. shows how the answer changes if the interconnect is a ring or a torus
+   instead of the paper's mesh.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import numpy as np
+
+from repro import AppParams, optimizer
+from repro.core import communication as comm
+from repro.core import merging
+from repro.noc import topology_growcomm
+
+BUDGET = 256
+
+# ── 1. optimal core size across the application space ───────────────────
+print("optimal symmetric core size (BCEs/core), f = 0.99, linear growth")
+cons = [0.90, 0.75, 0.60]
+ores = [0.05, 0.20, 0.40, 0.60, 0.80]
+grid = optimizer.optimal_r_map(0.99, BUDGET, cons, ores)
+header = "fcon\\fored " + " ".join(f"{o:>5.0%}" for o in ores)
+print(header)
+for c, row in zip(cons, grid):
+    print(f"{c:>9.0%}  " + " ".join(f"{int(v):>5d}" for v in row))
+print("=> more reduction overhead (left to right) forces bigger cores.\n")
+
+# ── 2. Pareto front for a concrete application ───────────────────────────
+app = AppParams(f=0.99, fcon_share=0.60, fored_share=0.80, name="miner")
+points = optimizer.optimal_design_grid(app, BUDGET)
+front = optimizer.pareto_front(points)
+print(f"Pareto front (speedup vs core count) for {app.describe()}:")
+for pt in front:
+    shape = (f"{pt.cores:.0f}x{pt.r:.0f}-BCE" if pt.architecture == "sym"
+             else f"1x{pt.rl:.0f} + {pt.cores - 1:.0f}x{pt.r:.0f}-BCE")
+    print(f"  {pt.speedup:6.1f}x  {pt.architecture:>4}  {shape}")
+print()
+
+# ── 3. when is asymmetry still worth it? ─────────────────────────────────
+print("ACMP advantage vs reduction overhead (f = 0.99, fcon = 60%):")
+for ored in (0.05, 0.2, 0.4, 0.6, 0.8):
+    a = AppParams(f=0.99, fcon_share=0.60, fored_share=ored)
+    adv = optimizer.acmp_advantage(a, BUDGET)
+    bar = "#" * int(20 * (adv - 1)) if adv > 1 else ""
+    print(f"  fored={ored:>4.0%}: {adv:5.2f}x {bar}")
+print("=> the asymmetric edge shrinks as the merge grows (conclusion (c)).\n")
+
+# ── 4. interconnect sensitivity (beyond the paper) ───────────────────────
+print("communication-aware peak speedup by topology (parallel reduction):")
+sizes = merging.power_of_two_sizes(BUDGET)
+for topo in ("crossbar", "torus", "mesh", "ring"):
+    growth = topology_growcomm(topo)
+    sp = np.asarray(comm.speedup_symmetric_comm(app, BUDGET, sizes, comm=growth))
+    i = int(np.argmax(sp))
+    print(f"  {topo:>9}: peak {sp[i]:5.1f}x at r={int(sizes[i])} BCEs/core")
+print("=> a richer network keeps smaller cores viable; a ring forces the\n"
+      "   serial-engine design even harder than the paper's mesh.")

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Quickstart: predict multicore scalability for an application with a
+merging phase.
+
+The paper's headline workflow in ~30 lines: describe your application by
+three numbers (parallel fraction, constant share of the serial time,
+growing share of the reduction), then ask the extended model what chip to
+build and how far the application scales — and compare against what plain
+Amdahl/Hill–Marty would have (over-)promised.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AppParams, amdahl, hill_marty, merging, optimizer
+
+# ── 1. characterise the application ─────────────────────────────────────
+# A data-mining-style workload: 99% parallel; of the 1% serial time, 60%
+# is constant (startup, convergence checks) and the rest is the merging
+# phase, 80% of which grows with the core count (Algorithm 1-style
+# accumulation of per-thread partials).
+app = AppParams(f=0.99, fcon_share=0.60, fored_share=0.80, name="my-miner")
+print(app.describe())
+
+# ── 2. what Amdahl's Law promises ────────────────────────────────────────
+print(f"\nAmdahl's limit (infinite cores):    {amdahl.speedup_limit(app.f):.0f}x")
+print(f"Amdahl on 256 unit cores:           {amdahl.speedup(app.f, 256):.1f}x")
+r_hm, sp_hm = hill_marty.best_symmetric(app.f, n=256)
+print(f"Hill-Marty best symmetric design:   {sp_hm:.1f}x with {256 / r_hm:.0f} cores of {r_hm:.0f} BCEs")
+
+# ── 3. what the merging-phase model says ─────────────────────────────────
+best = merging.best_symmetric(app, n=256)           # Eq 4
+print(f"\nWith reduction overhead (Eq 4):     {best.speedup:.1f}x "
+      f"with {best.cores:.0f} cores of {best.r:.0f} BCEs")
+
+best_acmp = merging.best_asymmetric(app, n=256)     # Eq 5
+print(f"Best asymmetric design (Eq 5):      {best_acmp.speedup:.1f}x with one "
+      f"{best_acmp.rl:.0f}-BCE core + {best_acmp.small_cores:.0f}x{best_acmp.r:.0f} BCEs")
+
+# ── 4. the design decision in one call ───────────────────────────────────
+cmp_ = optimizer.compare_architectures(app, n=256)
+print(f"\nACMP advantage under Amdahl:        {cmp_.amdahl_speedup_ratio:.2f}x")
+print(f"ACMP advantage with merging phases: {cmp_.acmp_speedup_ratio:.2f}x")
+print("\n=> reduction overhead pushed the optimum from many tiny cores to "
+      "fewer capable ones,\n   and mostly erased the asymmetric design's edge "
+      "- the paper's conclusions (b) and (c).")

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Building the chips, not just modelling them.
+
+The analytic model (Eqs 4–5) says merging phases favour fewer, larger
+cores and blunt asymmetric designs.  Here we *construct* those chips in
+the simulator — heterogeneous cores, real caches, MESI coherence — and
+run workloads on them:
+
+1. every symmetric design of a 16-BCE budget running a merge-heavy
+   histogram → the "fewer but more capable cores" crossover appears in
+   measured cycles;
+2. an ACMP (one 16-BCE core + 7 small cores) vs a symmetric 8-core chip
+   on kmeans → the big core helps, but the memory-bound merge barely
+   accelerates, which is exactly why the paper calls the ACMP advantage
+   "quite limited" for these applications.
+
+Run:  python examples/simulated_chip_design.py   (~20 s)
+"""
+
+from repro.simx import Machine, MachineConfig
+from repro.viz import bar_chart
+from repro.workloads import HistogramWorkload, KMeansWorkload, make_blobs
+from repro.workloads.instrument import breakdown_from_simulation
+from repro.workloads.tracegen import program_from_execution
+
+BUDGET = 16
+
+# ── 1. the crossover, in cycles ──────────────────────────────────────────
+print("1. every 16-BCE symmetric design running a merge-heavy histogram\n")
+workload = HistogramWorkload(n_items=20000, n_bins=8192, seed=7)
+cycles = {}
+r = 1
+while r <= BUDGET:
+    n_cores = BUDGET // r
+    config = MachineConfig(
+        n_cores=n_cores,
+        core_perf_factors=tuple(float(r) ** 0.5 for _ in range(n_cores)),
+    )
+    result = Machine(config).run(
+        program_from_execution(workload.execute(n_cores), mem_scale=2)
+    )
+    cycles[r] = result.total_cycles
+    r *= 2
+
+print(bar_chart(
+    [f"{BUDGET // r}x{r}-BCE" for r in cycles],
+    [cycles[1] / c for c in cycles.values()],
+    title="speedup vs the 16x1-BCE design (higher is better)",
+    width=40,
+))
+best = min(cycles, key=cycles.get)
+print(f"\n=> the most-cores design loses; the measured optimum is "
+      f"{BUDGET // best} cores of {best} BCEs - conclusion (b) with no "
+      "model in the loop.\n")
+
+# ── 2. ACMP vs symmetric, phase by phase ─────────────────────────────────
+print("2. ACMP (1x16-BCE + 7x1-BCE) vs symmetric 8x1-BCE on kmeans\n")
+kmeans = KMeansWorkload(
+    make_blobs(3000, 9, 8, seed=11), max_iterations=3, tolerance=1e-12
+)
+sym = breakdown_from_simulation(
+    Machine(MachineConfig.baseline(n_cores=8)).run(
+        program_from_execution(kmeans.execute(8), mem_scale=2)
+    )
+)
+acmp = breakdown_from_simulation(
+    Machine(MachineConfig.asymmetric(rl=16, n_small=7, r=1)).run(
+        program_from_execution(kmeans.execute(8), mem_scale=2)
+    )
+)
+print(f"{'phase':>14} {'symmetric':>12} {'ACMP':>12} {'speedup':>9}")
+for label, s_val, a_val in (
+    ("parallel", sym.parallel, acmp.parallel),
+    ("merge", sym.reduction, acmp.reduction),
+    ("init+serial", sym.init + sym.serial, acmp.init + acmp.serial),
+    ("total", sym.total, acmp.total),
+):
+    ratio = s_val / a_val if a_val else float("inf")
+    print(f"{label:>14} {s_val:>12,.0f} {a_val:>12,.0f} {ratio:>8.2f}x")
+
+print(f"""
+=> the 16-BCE core computes 4x faster, but the merge - dominated by
+   coherence misses on other threads' partials - speeds up only
+   {sym.reduction / acmp.reduction:.2f}x: wires don't care about core area.
+   That is mechanically why the paper finds the benefit of asymmetric
+   over symmetric designs 'indeed quite limited' for reduction-heavy
+   applications (conclusion (c)).""")

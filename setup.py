@@ -1,0 +1,7 @@
+"""Setup shim for environments without the `wheel` package (offline CI),
+where `pip install -e . --no-use-pep517` needs a setup.py entry point.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — reproduction of *Implications of Merging Phases on Scalability of
+Multi-core Architectures* (Manivannan, Juurlink, Stenström; ICPP 2011).
+
+The package has four layers:
+
+* :mod:`repro.core` — the paper's analytical models (Eqs 1–8): Amdahl,
+  Hill–Marty, and the merging-phase / communication extensions.
+* :mod:`repro.simx` — a discrete-event CMP simulator (the SESC substitute)
+  with caches, MESI coherence and per-phase cycle accounting.
+* :mod:`repro.workloads` — MineBench-style clustering workloads (kmeans,
+  fuzzy c-means, HOP) with instrumented parallel/merge phase structure,
+  plus dataset generators and reduction strategies.
+* :mod:`repro.experiments` — drivers that regenerate every table and figure
+  of the paper's evaluation (see DESIGN.md for the index).
+
+Quickstart
+----------
+>>> import repro
+>>> params = repro.AppParams(f=0.99, fcon_share=0.60, fored_share=0.80)
+>>> design = repro.merging.best_symmetric(params, n=256)
+>>> round(design.speedup, 1), design.r
+(36.2, 32.0)
+"""
+
+from repro.core import (
+    amdahl,
+    communication,
+    hill_marty,
+    measured,
+    merging,
+    optimizer,
+)
+from repro.core.classes import TABLE3_CLASSES, AppClass
+from repro.core.params import TABLE2, TABLE4, AppParams, MeasuredParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "amdahl",
+    "communication",
+    "hill_marty",
+    "measured",
+    "merging",
+    "optimizer",
+    "AppParams",
+    "MeasuredParams",
+    "AppClass",
+    "TABLE2",
+    "TABLE3_CLASSES",
+    "TABLE4",
+    "__version__",
+]

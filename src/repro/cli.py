@@ -1,0 +1,258 @@
+"""Command-line interface: ``repro-merging`` / ``python -m repro``.
+
+Subcommands
+-----------
+``list``
+    Show the available experiments.
+``run <id> [--csv] [--scale S]``
+    Run one experiment (or ``all``) and print its report.
+``predict --f F --fcon C --fored O [...]``
+    One-off speedup prediction for an application you characterise on the
+    command line — the library's headline use case without writing code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import merging, optimizer
+from repro.core.params import AppParams
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.util.logging import configure, get_logger
+
+__all__ = ["main", "build_parser"]
+
+log = get_logger("cli")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-merging",
+        description=(
+            "Reproduction of 'Implications of Merging Phases on Scalability "
+            "of Multi-core Architectures' (ICPP 2011)"
+        ),
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run an experiment and print its report")
+    run_p.add_argument("experiment", help="experiment id, or 'all'")
+    run_p.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale for simulator-backed experiments (0..1]",
+    )
+    run_p.add_argument("--csv", action="store_true", help="emit tables as CSV")
+    run_p.add_argument("--plot", action="store_true",
+                       help="render figure series as terminal line charts")
+    run_p.add_argument("--json", metavar="DIR", default=None,
+                       help="also write each report as JSON into DIR")
+
+    pred = sub.add_parser("predict", help="speedup prediction for custom parameters")
+    pred.add_argument("--f", type=float, required=True, help="parallel fraction")
+    pred.add_argument("--fcon", type=float, required=True,
+                      help="constant share of serial time (0..1)")
+    pred.add_argument("--fored", type=float, required=True,
+                      help="growing share of reduction time (0..1)")
+    pred.add_argument("--n", type=int, default=256, help="chip budget in BCEs")
+    pred.add_argument("--growth", default="linear",
+                      help="linear | log | parallel | poly:<alpha>")
+    pred.add_argument("--target", type=float, default=None,
+                      help="also report the merge-overhead budget that "
+                           "would still reach TARGET speedup on --cores cores")
+    pred.add_argument("--cores", type=int, default=64,
+                      help="core count for the --target analysis")
+
+    char = sub.add_parser(
+        "characterize",
+        help="simulate a workload across core counts and extract its parameters",
+    )
+    char.add_argument("workload", choices=["kmeans", "fuzzy", "hop", "histogram"])
+    char.add_argument("--scale", type=float, default=0.10,
+                      help="dataset scale relative to the paper's (0..1]")
+    char.add_argument("--max-threads", type=int, default=16)
+    char.add_argument("--reduction", default="serial",
+                      choices=["serial", "tree", "parallel"],
+                      help="merge strategy (kmeans/fuzzy only)")
+
+    diff_p = sub.add_parser(
+        "diff", help="compare two stored JSON reports of the same experiment"
+    )
+    diff_p.add_argument("old", help="baseline report (.json)")
+    diff_p.add_argument("new", help="candidate report (.json)")
+
+    sim_p = sub.add_parser(
+        "simulate", help="run a serialized trace program (.jsonl) on a machine"
+    )
+    sim_p.add_argument("trace", help="trace file written by simx.traceio")
+    sim_p.add_argument("--cores", type=int, default=16)
+    sim_p.add_argument("--interconnect", choices=["bus", "mesh"], default="bus")
+    sim_p.add_argument("--dram", choices=["flat", "banked"], default="flat")
+    sim_p.add_argument("--protocol", choices=["mesi", "msi"], default="mesi")
+    return parser
+
+
+def _cmd_list() -> int:
+    for name in sorted(EXPERIMENTS):
+        print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = sorted(k for k in EXPERIMENTS if not k.startswith("ablation-")) \
+        if args.experiment == "all" else [args.experiment]
+    failed = False
+    for eid in ids:
+        options = {}
+        if args.scale is not None and eid in ("table2", "table4", "fig2"):
+            options["scale"] = args.scale
+        report = run_experiment(eid, **options)
+        if args.csv:
+            for t in report.tables:
+                print(t.to_csv())
+                print()
+        else:
+            print(report.render())
+            print()
+        if args.plot:
+            from repro.viz.report_plots import render_report_charts
+
+            charts = render_report_charts(report)
+            if charts:
+                print(charts)
+                print()
+        if args.json:
+            from pathlib import Path
+
+            from repro.experiments.store import save_report
+
+            path = save_report(report, Path(args.json) / f"{eid}.json")
+            log.info("wrote %s", path)
+        if not report.all_match:
+            failed = True
+            log.warning("experiment %s: some paper comparisons did not hold", eid)
+    return 1 if failed else 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    params = AppParams(f=args.f, fcon_share=args.fcon, fored_share=args.fored)
+    cmp_ = optimizer.compare_architectures(params, args.n, growth=args.growth)
+    print(f"application: {params.describe()}")
+    sym = cmp_.symmetric
+    asym = cmp_.asymmetric
+    print(
+        f"best symmetric : {sym.cores:.0f} cores of {sym.r:.0f} BCEs "
+        f"-> speedup {sym.speedup:.1f}"
+    )
+    print(
+        f"best asymmetric: 1x{asym.rl:.0f} BCE + {asym.small_cores:.0f}x{asym.r:.0f} "
+        f"BCEs -> speedup {asym.speedup:.1f}"
+    )
+    print(
+        f"Amdahl would predict {cmp_.amdahl_symmetric:.1f} (sym) / "
+        f"{cmp_.amdahl_asymmetric:.1f} (asym)"
+    )
+    print(f"ACMP advantage: {cmp_.acmp_speedup_ratio:.2f}x "
+          f"(Amdahl: {cmp_.amdahl_speedup_ratio:.2f}x)")
+    if args.target is not None:
+        from repro.core.requirements import max_affordable_overhead
+
+        budget = max_affordable_overhead(
+            args.f, args.fcon, args.cores, args.target
+        )
+        if budget <= 0:
+            print(f"target {args.target:.0f}x on {args.cores} cores: "
+                  "unreachable even with a flat merge")
+        else:
+            print(
+                f"target {args.target:.0f}x on {args.cores} flat cores: the "
+                f"merge may grow by at most {budget:.0%} of its single-core "
+                f"time per added core (Table II form: fored <= {budget:.2f})"
+            )
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.experiments.simsweep import default_workloads, simulate_breakdowns
+    from repro.workloads.instrument import (
+        extract_parameters,
+        serial_growth_curve,
+        speedup_curve,
+    )
+
+    workloads = dict(default_workloads(args.scale))
+    if args.workload == "histogram":
+        from repro.workloads.histogram import HistogramWorkload
+
+        workloads["histogram"] = HistogramWorkload(
+            n_items=max(2000, int(100_000 * args.scale)), n_bins=2048
+        )
+    workload = workloads[args.workload]
+    if args.reduction != "serial" and hasattr(workload, "reduction_strategy"):
+        from dataclasses import replace
+
+        workload = replace(workload, reduction_strategy=args.reduction)
+    threads = [p for p in (1, 2, 4, 8, 16, 32) if p <= args.max_threads]
+    print(f"simulating {args.workload} at scale {args.scale} "
+          f"on {threads} cores...")
+    breakdowns = simulate_breakdowns(
+        workload, threads, n_cores=max(threads), mem_scale=2
+    )
+    print("speedup:        ",
+          {p: round(v, 2) for p, v in speedup_curve(breakdowns).items()})
+    print("serial growth:  ",
+          {p: round(v, 2) for p, v in serial_growth_curve(breakdowns).items()})
+    ep = extract_parameters(breakdowns, args.workload)
+    print(f"\nf     = {1 - ep.serial_pct / 100:.5f}   (serial {ep.serial_pct:.4f}%)")
+    print(f"fcon  = {ep.fcon_share:.0%} of serial time")
+    print(f"fred  = {ep.fred_share:.0%} of serial time")
+    print(f"fored = {ep.fored_rel:.0%} relative growth/core "
+          f"(alpha = {ep.growth_alpha:.2f})")
+    design = ep.to_measured_params().to_design_params()
+    from repro.core import merging as merging_model
+
+    best = merging_model.best_symmetric(design, 256)
+    print(f"\noptimal 256-BCE symmetric chip: {best.cores:.0f} cores of "
+          f"{best.r:.0f} BCEs -> {best.speedup:.1f}x")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    configure(verbose=args.verbose)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "predict":
+        return _cmd_predict(args)
+    if args.command == "characterize":
+        return _cmd_characterize(args)
+    if args.command == "diff":
+        from repro.experiments.diffing import diff_reports
+        from repro.experiments.store import load_report
+
+        diff = diff_reports(load_report(args.old), load_report(args.new))
+        print(diff.render())
+        return 0 if diff.is_clean or not diff.flipped_claims else 1
+    if args.command == "simulate":
+        from repro.simx import Machine, MachineConfig
+        from repro.simx.traceio import load_program
+
+        config = MachineConfig(
+            n_cores=args.cores,
+            interconnect=args.interconnect,
+            dram=args.dram,
+            coherence_protocol=args.protocol,
+        )
+        result = Machine(config).run(load_program(args.trace))
+        print(result.summary())
+        return 0
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

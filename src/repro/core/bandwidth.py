@@ -1,0 +1,96 @@
+"""Off-chip memory bandwidth combined with merging phases.
+
+A standard critique of Hill–Marty-style models is that the parallel
+section's throughput is bounded not only by aggregate core performance but
+by off-chip bandwidth, which is roughly fixed per chip (pin-limited)
+regardless of how the area is spent.  This extension adds that wall to the
+merging-phase model and asks how it interacts with the paper's
+conclusions.
+
+Model.  Let ``beta`` be the application's *bandwidth demand*: the fraction
+of single-BCE-core time the parallel section would need if memory traffic
+were the only constraint (``beta = bytes_moved / (chip_bandwidth ·
+single_core_time)``).  The parallel phase then takes::
+
+    t_par = max( f·r / (perf(r)·n),  f·beta )
+
+— compute-bound on the left, bandwidth-bound on the right.  The serial
+term keeps the merging growth of Eq 4.  Note the wall is *flat* in the
+core count: once hit, adding cores (or core area) buys nothing, exactly
+like a fully-contended critical section.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.growth import GrowthFunction, resolve_growth
+from repro.core.params import AppParams
+from repro.core.perf import PerfLaw, resolve_perf_law
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = [
+    "speedup_symmetric_bw",
+    "best_symmetric_bw",
+    "bandwidth_wall_cores",
+]
+
+
+def speedup_symmetric_bw(
+    params: AppParams,
+    n: int,
+    r: "float | np.ndarray",
+    beta: float,
+    growth: "str | GrowthFunction | None" = None,
+    perf: "str | PerfLaw | None" = None,
+) -> "float | np.ndarray":
+    """Eq 4 with a memory-bandwidth wall at demand ``beta``.
+
+    ``beta = 0`` recovers the plain merging model; ``beta = 1/n`` means
+    the bandwidth and compute bounds coincide for 1-BCE cores.
+    """
+    n = check_positive_int(n, "n")
+    check_positive(beta, "beta", allow_zero=True)
+    law = resolve_perf_law(perf)
+    g = resolve_growth(growth)
+    arr = np.asarray(r, dtype=np.float64)
+    if np.any(arr <= 0) or np.any(arr > n):
+        raise ValueError(f"core size r must be in (0, n], got {r!r}")
+    pr = np.asarray(law(arr), dtype=np.float64)
+    nc = n / arr
+    serial = (params.fcon + params.fcred + params.fored * np.asarray(g(nc))) / pr
+    compute_bound = params.f * arr / (pr * n)
+    bandwidth_bound = params.f * beta
+    out = 1.0 / (serial + np.maximum(compute_bound, bandwidth_bound))
+    return float(out) if np.asarray(r).ndim == 0 else out
+
+
+def best_symmetric_bw(
+    params: AppParams,
+    n: int,
+    beta: float,
+    growth: "str | GrowthFunction | None" = None,
+    perf: "str | PerfLaw | None" = None,
+) -> tuple[float, float]:
+    """(r*, speedup*) over the power-of-two grid under a bandwidth wall."""
+    from repro.core.merging import power_of_two_sizes
+
+    sizes = power_of_two_sizes(n)
+    sp = np.asarray(speedup_symmetric_bw(params, n, sizes, beta, growth, perf))
+    i = int(np.argmax(sp))
+    return float(sizes[i]), float(sp[i])
+
+
+def bandwidth_wall_cores(n: int, r: float, beta: float, perf: "str | PerfLaw | None" = None) -> float:
+    """The core count at which the compute bound meets the bandwidth wall.
+
+    For ``nc`` cores of ``r`` BCEs the compute bound is
+    ``r/(perf(r)·n) = 1/(perf(r)·nc)``; it equals ``beta`` at
+    ``nc* = 1/(perf(r)·beta)``.  Scaling beyond ``nc*`` is wasted area
+    even before merging costs are considered.  Infinite when beta = 0.
+    """
+    check_positive(beta, "beta", allow_zero=True)
+    if beta == 0.0:
+        return float("inf")
+    law = resolve_perf_law(perf)
+    return 1.0 / (float(law(r)) * beta)

@@ -1,0 +1,156 @@
+"""Energy and power extension of the merging-phase model.
+
+The paper optimises pure performance; this extension (in the spirit of the
+asymmetric-CMP energy literature, e.g. Morad et al. [12]) asks what the
+growing merge does to *energy-efficient* design points.
+
+Power model.  A core of ``r`` BCEs draws ``active_power(r) = r^mu`` when
+executing (mu = 1: power tracks area — a reasonable first-order model for
+equal-voltage designs) and ``idle_fraction`` of that when idle (leakage +
+clock).  During serial phases one core is active and the rest idle;
+during parallel phases all cores are active.
+
+Metrics per design: execution time (the extended model's), energy,
+energy-delay product, and performance per watt — each normalised to the
+single-BCE baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.growth import GrowthFunction, resolve_growth
+from repro.core.params import AppParams
+from repro.core.perf import PerfLaw, resolve_perf_law
+from repro.util.validation import check_fraction, check_positive, check_positive_int
+
+__all__ = ["PowerModel", "DesignEnergy", "evaluate_symmetric", "best_symmetric_energy"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-core power as a function of size.
+
+    Parameters
+    ----------
+    mu:
+        Power-area exponent: ``active_power(r) = r ** mu``.  mu = 1 is
+        area-proportional; mu > 1 models frequency/voltage premiums on
+        large cores.
+    idle_fraction:
+        Idle (leakage) power as a fraction of active power.
+    """
+
+    mu: float = 1.0
+    idle_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        check_positive(self.mu, "mu")
+        check_fraction(self.idle_fraction, "idle_fraction")
+
+    def active(self, r: "float | np.ndarray") -> "float | np.ndarray":
+        """Active power of an ``r``-BCE core (1-BCE core = 1)."""
+        arr = np.asarray(r, dtype=np.float64)
+        if np.any(arr <= 0):
+            raise ValueError(f"core size must be > 0, got {r!r}")
+        out = np.power(arr, self.mu)
+        return float(out) if np.asarray(r).ndim == 0 else out
+
+    def idle(self, r: "float | np.ndarray") -> "float | np.ndarray":
+        """Idle power of an ``r``-BCE core."""
+        out = np.asarray(self.active(r)) * self.idle_fraction
+        return float(out) if np.asarray(r).ndim == 0 else out
+
+
+@dataclass(frozen=True)
+class DesignEnergy:
+    """Energy metrics for one symmetric design point.
+
+    All values are normalised to the single-BCE-core baseline executing
+    the same application (time 1, power 1, energy 1).
+    """
+
+    r: float
+    speedup: float
+    energy: float
+    edp: float
+    perf_per_watt: float
+
+
+def evaluate_symmetric(
+    params: AppParams,
+    n: int,
+    r: "float | np.ndarray",
+    power: "PowerModel | None" = None,
+    growth: "str | GrowthFunction | None" = None,
+    perf: "str | PerfLaw | None" = None,
+) -> "DesignEnergy | list[DesignEnergy]":
+    """Time/energy/EDP for symmetric designs under the extended model.
+
+    The serial phases keep one core active and ``nc − 1`` idle; the
+    parallel phase keeps all ``nc`` active.  Baseline energy is the
+    single-BCE core running the whole application at power 1 for time 1.
+    """
+    n = check_positive_int(n, "n")
+    pm = power or PowerModel()
+    law = resolve_perf_law(perf)
+    g = resolve_growth(growth)
+    arr = np.atleast_1d(np.asarray(r, dtype=np.float64))
+    if np.any(arr <= 0) or np.any(arr > n):
+        raise ValueError(f"core size r must be in (0, n], got {r!r}")
+    pr = np.asarray(law(arr), dtype=np.float64)
+    nc = n / arr
+    serial_time = (
+        params.fcon + params.fcred + params.fored * np.asarray(g(nc))
+    ) / pr
+    parallel_time = params.f * arr / (pr * n)
+    total_time = serial_time + parallel_time
+    speedup = 1.0 / total_time
+
+    p_active = np.asarray(pm.active(arr), dtype=np.float64)
+    p_idle = np.asarray(pm.idle(arr), dtype=np.float64)
+    serial_power = p_active + (nc - 1.0) * p_idle
+    parallel_power = nc * p_active
+    energy = serial_time * serial_power + parallel_time * parallel_power
+    edp = energy * total_time
+    perf_per_watt = speedup / (energy / total_time)  # 1 / average power
+
+    out = [
+        DesignEnergy(
+            r=float(arr[i]), speedup=float(speedup[i]), energy=float(energy[i]),
+            edp=float(edp[i]), perf_per_watt=float(perf_per_watt[i]),
+        )
+        for i in range(arr.size)
+    ]
+    return out[0] if np.asarray(r).ndim == 0 else out
+
+
+def best_symmetric_energy(
+    params: AppParams,
+    n: int,
+    objective: str = "edp",
+    power: "PowerModel | None" = None,
+    growth: "str | GrowthFunction | None" = None,
+    perf: "str | PerfLaw | None" = None,
+) -> DesignEnergy:
+    """The design minimising EDP / energy or maximising perf-per-watt /
+    speedup, over the power-of-two grid."""
+    from repro.core.merging import power_of_two_sizes
+
+    objectives = {
+        "edp": (lambda d: d.edp, min),
+        "energy": (lambda d: d.energy, min),
+        "perf_per_watt": (lambda d: d.perf_per_watt, max),
+        "speedup": (lambda d: d.speedup, max),
+    }
+    if objective not in objectives:
+        raise ValueError(
+            f"objective must be one of {sorted(objectives)}, got {objective!r}"
+        )
+    key, pick = objectives[objective]
+    designs = evaluate_symmetric(
+        params, n, power_of_two_sizes(n), power, growth, perf
+    )
+    return pick(designs, key=key)

@@ -1,0 +1,176 @@
+"""Hill–Marty multicore speedup models (Eqs 2 and 3 of the paper).
+
+Hill and Marty ["Amdahl's Law in the Multicore Era", IEEE Computer 2008]
+recast Amdahl's Law for a chip with an area budget of ``n`` base-core
+equivalents (BCEs):
+
+* **Symmetric CMP** — ``n/r`` cores of ``r`` BCEs each (Eq 2)::
+
+      speedup = 1 / [ (1-f)/perf(r) + f·r / (perf(r)·n) ]
+
+* **Asymmetric CMP** — one large ``rl``-BCE core plus ``n - rl`` one-BCE
+  cores; the serial section runs on the large core, the parallel section on
+  everything (Eq 3)::
+
+      speedup = 1 / [ (1-f)/perf(rl) + f / (perf(rl) + n - rl) ]
+
+These are the *constant-serial-section* baselines that the paper's extended
+model (:mod:`repro.core.merging`) corrects.  We additionally provide the
+generalised asymmetric form used implicitly by the paper's Fig 5 Amdahl
+curves (small cores of ``r`` BCEs rather than 1), and Hill–Marty's dynamic
+CMP as an extension.
+
+All speedup functions are vectorised over their core-size argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.perf import PerfLaw, resolve_perf_law
+from repro.util.validation import check_fraction, check_positive_int
+
+__all__ = [
+    "speedup_symmetric",
+    "speedup_asymmetric",
+    "speedup_asymmetric_grouped",
+    "speedup_dynamic",
+    "best_symmetric",
+    "best_asymmetric",
+]
+
+
+def _as_r_array(r: "float | np.ndarray", name: str) -> np.ndarray:
+    arr = np.asarray(r, dtype=np.float64)
+    if np.any(arr <= 0):
+        raise ValueError(f"{name} must be > 0, got {r!r}")
+    return arr
+
+
+def speedup_symmetric(
+    f: float,
+    n: int,
+    r: "float | np.ndarray",
+    perf: "str | PerfLaw | None" = None,
+) -> "float | np.ndarray":
+    """Hill–Marty symmetric-CMP speedup (Eq 2).
+
+    Parameters
+    ----------
+    f:
+        Parallel fraction.
+    n:
+        Chip budget in BCEs (paper: 256).
+    r:
+        BCEs per core; scalar or array.  Need not divide ``n`` exactly for
+        the continuous model, but must not exceed ``n``.
+    perf:
+        Performance law (default: sqrt).
+    """
+    check_fraction(f, "f")
+    n = check_positive_int(n, "n")
+    law = resolve_perf_law(perf)
+    arr = _as_r_array(r, "r")
+    if np.any(arr > n):
+        raise ValueError(f"core size r must be <= n={n}")
+    pr = np.asarray(law(arr), dtype=np.float64)
+    out = 1.0 / ((1.0 - f) / pr + f * arr / (pr * n))
+    return float(out) if np.asarray(r).ndim == 0 else out
+
+
+def speedup_asymmetric(
+    f: float,
+    n: int,
+    rl: "float | np.ndarray",
+    perf: "str | PerfLaw | None" = None,
+) -> "float | np.ndarray":
+    """Hill–Marty asymmetric-CMP speedup (Eq 3): one ``rl``-BCE core plus
+    ``n - rl`` one-BCE cores.
+
+    At ``rl == n`` the chip is a single large core and the expression reduces
+    to ``perf(n)`` (no parallel speedup beyond the big core).
+    """
+    check_fraction(f, "f")
+    n = check_positive_int(n, "n")
+    law = resolve_perf_law(perf)
+    arr = _as_r_array(rl, "rl")
+    if np.any(arr > n):
+        raise ValueError(f"large-core size rl must be <= n={n}")
+    prl = np.asarray(law(arr), dtype=np.float64)
+    out = 1.0 / ((1.0 - f) / prl + f / (prl + n - arr))
+    return float(out) if np.asarray(rl).ndim == 0 else out
+
+
+def speedup_asymmetric_grouped(
+    f: float,
+    n: int,
+    rl: "float | np.ndarray",
+    r: float = 1.0,
+    perf: "str | PerfLaw | None" = None,
+) -> "float | np.ndarray":
+    """Generalised asymmetric CMP: one ``rl``-BCE core plus ``(n - rl)/r``
+    small cores of ``r`` BCEs each (the Amdahl reference curves of Fig 5).
+
+    The parallel section runs on all cores with aggregate throughput
+    ``perf(r)·(n - rl)/r + perf(rl)``; the serial section runs on the large
+    core alone.
+    """
+    check_fraction(f, "f")
+    n = check_positive_int(n, "n")
+    law = resolve_perf_law(perf)
+    arr = _as_r_array(rl, "rl")
+    if np.any(arr > n):
+        raise ValueError(f"large-core size rl must be <= n={n}")
+    if r <= 0 or r > n:
+        raise ValueError(f"small-core size r must be in (0, n], got {r}")
+    prl = np.asarray(law(arr), dtype=np.float64)
+    pr = float(law(r))
+    parallel_throughput = pr * (n - arr) / r + prl
+    out = 1.0 / ((1.0 - f) / prl + f / parallel_throughput)
+    return float(out) if np.asarray(rl).ndim == 0 else out
+
+
+def speedup_dynamic(
+    f: float,
+    n: int,
+    r: "float | np.ndarray",
+    perf: "str | PerfLaw | None" = None,
+) -> "float | np.ndarray":
+    """Hill–Marty *dynamic* CMP: serial sections run as one fused ``r``-BCE
+    core, parallel sections use all ``n`` BCEs.  An optimistic upper bound,
+    included for the ablation study (not evaluated in the paper).
+    """
+    check_fraction(f, "f")
+    n = check_positive_int(n, "n")
+    law = resolve_perf_law(perf)
+    arr = _as_r_array(r, "r")
+    if np.any(arr > n):
+        raise ValueError(f"dynamic core size r must be <= n={n}")
+    pr = np.asarray(law(arr), dtype=np.float64)
+    out = 1.0 / ((1.0 - f) / pr + f / n)
+    return float(out) if np.asarray(r).ndim == 0 else out
+
+
+def _power_of_two_sizes(n: int) -> np.ndarray:
+    """Core sizes 1, 2, 4, ..., n (the paper's sweep grid)."""
+    return np.array([2**k for k in range(int(np.log2(n)) + 1) if 2**k <= n], dtype=np.float64)
+
+
+def best_symmetric(
+    f: float, n: int, perf: "str | PerfLaw | None" = None
+) -> tuple[float, float]:
+    """Return ``(r*, speedup*)`` maximising Eq 2 over power-of-two core sizes."""
+    sizes = _power_of_two_sizes(check_positive_int(n, "n"))
+    sp = np.asarray(speedup_symmetric(f, n, sizes, perf))
+    i = int(np.argmax(sp))
+    return float(sizes[i]), float(sp[i])
+
+
+def best_asymmetric(
+    f: float, n: int, perf: "str | PerfLaw | None" = None
+) -> tuple[float, float]:
+    """Return ``(rl*, speedup*)`` maximising Eq 3 over power-of-two sizes."""
+    sizes = _power_of_two_sizes(check_positive_int(n, "n"))
+    sp = np.asarray(speedup_asymmetric(f, n, sizes, perf))
+    i = int(np.argmax(sp))
+    return float(sizes[i]), float(sp[i])

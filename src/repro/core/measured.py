@@ -1,0 +1,104 @@
+"""Measured-form serial-section growth model (Figs 2(b), 2(d) and 3).
+
+Table II characterises each application by how its *measured* serial time
+changes with core count: ``fored_rel`` is the relative increase of reduction
+time over the single-core reduction time ``fcred`` per added core.  The
+serial time on ``p`` cores, expressed as a fraction of single-core total
+execution time, is::
+
+    S(p) = fcon + fcred · (1 + fored_rel · (p - 1)^alpha)
+
+with ``alpha = 1`` for the linear growth observed in kmeans and fuzzy, and
+``alpha > 1`` for hop's superlinear, memory-bound merge.  ``S(1)`` equals
+the measured single-core serial fraction ``s``, which is how the paper
+normalises Fig 2(b)/(c).
+
+The scalability predictions of Fig 3 plug ``S(p)`` into Amdahl's framework
+(both models assume the parallel section scales linearly with cores)::
+
+    speedup_extended(p) = 1 / (S(p) + f / p)
+    speedup_amdahl(p)   = 1 / (s    + f / p)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import MeasuredParams
+
+__all__ = [
+    "serial_time",
+    "serial_time_normalised",
+    "speedup_amdahl",
+    "speedup_extended",
+    "peak_core_count",
+]
+
+
+def _as_core_array(p: "float | np.ndarray") -> np.ndarray:
+    arr = np.asarray(p, dtype=np.float64)
+    if np.any(arr < 1):
+        raise ValueError(f"core count p must be >= 1, got {p!r}")
+    return arr
+
+
+def serial_time(params: MeasuredParams, p: "float | np.ndarray") -> "float | np.ndarray":
+    """Serial-section time on ``p`` cores as a fraction of single-core total
+    execution time.
+
+    ``serial_time(params, 1)`` equals the measured serial fraction ``s``.
+    """
+    arr = _as_core_array(p)
+    grown = params.fored_rel * np.power(arr - 1.0, params.growth_alpha)
+    out = params.fcon + params.fcred * (1.0 + grown)
+    return float(out) if np.asarray(p).ndim == 0 else out
+
+
+def serial_time_normalised(
+    params: MeasuredParams, p: "float | np.ndarray"
+) -> "float | np.ndarray":
+    """Serial time normalised to the single-core serial time (Fig 2(b)/(c)).
+
+    Value 1.0 at p = 1 by construction; a constant serial section (Amdahl's
+    assumption) would stay at 1.0 for all p.
+    """
+    arr = _as_core_array(p)
+    out = np.asarray(serial_time(params, arr)) / params.s
+    return float(out) if np.asarray(p).ndim == 0 else out
+
+
+def speedup_amdahl(params: MeasuredParams, p: "float | np.ndarray") -> "float | np.ndarray":
+    """The constant-serial-section prediction (Fig 3's 'Amdahl' curves)."""
+    arr = _as_core_array(p)
+    out = 1.0 / (params.s + params.f / arr)
+    return float(out) if np.asarray(p).ndim == 0 else out
+
+
+def speedup_extended(
+    params: MeasuredParams, p: "float | np.ndarray"
+) -> "float | np.ndarray":
+    """The growing-serial-section prediction (Fig 3's 'with overhead' curves).
+
+    Both curves share the assumption that the parallel section scales
+    linearly; only the serial-section treatment differs.
+    """
+    arr = _as_core_array(p)
+    out = 1.0 / (np.asarray(serial_time(params, arr)) + params.f / arr)
+    return float(out) if np.asarray(p).ndim == 0 else out
+
+
+def peak_core_count(params: MeasuredParams, max_cores: int = 4096) -> tuple[int, float]:
+    """The core count at which the extended prediction peaks.
+
+    Under linear growth the optimum has a closed form
+    (``p* = sqrt(f / (fcred·fored_rel))``), but we locate it on the integer
+    grid so superlinear growth is handled uniformly.
+
+    Returns
+    -------
+    (p_star, speedup_star)
+    """
+    cores = np.arange(1, max_cores + 1, dtype=np.float64)
+    sp = np.asarray(speedup_extended(params, cores))
+    i = int(np.argmax(sp))
+    return int(cores[i]), float(sp[i])

@@ -1,0 +1,95 @@
+"""Chip design for workload mixes.
+
+Real chips are not built for one application; an architect optimises a
+design for a *portfolio* of applications with different merging-phase
+profiles.  This module evaluates symmetric designs against a weighted mix
+and locates the compromise optimum.
+
+Aggregation uses the weighted harmonic mean of speedups — the natural
+metric when the weights are the fractions of machine time each
+application occupies (total time is the weighted sum of per-app times, so
+mix speedup = 1 / Σ wᵢ/speedupᵢ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core import merging
+from repro.core.growth import GrowthFunction
+from repro.core.params import AppParams
+from repro.core.perf import PerfLaw
+
+__all__ = ["WorkloadMix", "mix_speedup", "best_symmetric_for_mix"]
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A weighted set of applications.
+
+    Weights are each application's share of machine time on the baseline
+    core; they must be positive and are normalised on construction
+    queries.
+    """
+
+    apps: tuple[AppParams, ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise ValueError("a mix needs at least one application")
+        if len(self.apps) != len(self.weights):
+            raise ValueError(
+                f"{len(self.apps)} apps but {len(self.weights)} weights"
+            )
+        if any(w <= 0 for w in self.weights):
+            raise ValueError("weights must be positive")
+
+    @property
+    def normalised_weights(self) -> np.ndarray:
+        w = np.asarray(self.weights, dtype=np.float64)
+        return w / w.sum()
+
+    @staticmethod
+    def uniform(apps: Sequence[AppParams]) -> "WorkloadMix":
+        """Equal-time mix of the given applications."""
+        return WorkloadMix(apps=tuple(apps), weights=tuple(1.0 for _ in apps))
+
+
+def mix_speedup(
+    mix: WorkloadMix,
+    n: int,
+    r: "float | np.ndarray",
+    growth: "str | GrowthFunction | None" = None,
+    perf: "str | PerfLaw | None" = None,
+) -> "float | np.ndarray":
+    """Weighted-harmonic-mean speedup of a symmetric design on the mix."""
+    arr = np.atleast_1d(np.asarray(r, dtype=np.float64))
+    weights = mix.normalised_weights
+    inv = np.zeros_like(arr)
+    for app, w in zip(mix.apps, weights):
+        sp = np.asarray(merging.speedup_symmetric(app, n, arr, growth, perf))
+        inv += w / sp
+    out = 1.0 / inv
+    return float(out[0]) if np.asarray(r).ndim == 0 else out
+
+
+def best_symmetric_for_mix(
+    mix: WorkloadMix,
+    n: int = 256,
+    growth: "str | GrowthFunction | None" = None,
+    perf: "str | PerfLaw | None" = None,
+) -> merging.SymmetricDesign:
+    """The mix-optimal symmetric design over the power-of-two grid.
+
+    The compromise sits between the per-app optima: it is never better
+    for any single app than that app's own optimum, but dominates any
+    single-app design on the mix metric.
+    """
+    sizes = merging.power_of_two_sizes(n)
+    sp = np.asarray(mix_speedup(mix, n, sizes, growth, perf))
+    i = int(np.argmax(sp))
+    return merging.SymmetricDesign(r=float(sizes[i]), speedup=float(sp[i]), n=n)

@@ -1,0 +1,91 @@
+"""Parameter-sensitivity analysis of the extended model.
+
+Which input moves the paper's conclusions most — the parallel fraction, the
+constant share, or the overhead share?  This module differentiates the
+model numerically around a design point and produces tornado-style rankings
+used by the ablation benchmarks and the design-space example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core import merging
+from repro.core.growth import GrowthFunction
+from repro.core.params import AppParams
+from repro.core.perf import PerfLaw
+
+__all__ = ["Sensitivity", "speedup_sensitivities", "tornado", "elasticity"]
+
+_FIELDS = ("f", "fcon_share", "fored_share")
+
+
+@dataclass(frozen=True)
+class Sensitivity:
+    """Sensitivity of a model output to one input parameter.
+
+    ``gradient`` is the raw partial derivative; ``elasticity`` the
+    dimensionless %-output per %-input (comparable across parameters).
+    """
+
+    parameter: str
+    base_value: float
+    gradient: float
+    elasticity: float
+
+
+def _perturbed(params: AppParams, field: str, value: float) -> AppParams:
+    clipped = min(max(value, 1e-9), 1 - 1e-9) if field == "f" else min(max(value, 0.0), 1.0)
+    return params.with_(**{field: clipped})
+
+
+def elasticity(
+    fn: Callable[[AppParams], float],
+    params: AppParams,
+    field: str,
+    rel_step: float = 1e-4,
+) -> Sensitivity:
+    """Central-difference elasticity of ``fn`` w.r.t. one parameter field."""
+    if field not in _FIELDS:
+        raise ValueError(f"field must be one of {_FIELDS}, got {field!r}")
+    base_value = getattr(params, field)
+    h = max(rel_step * max(abs(base_value), 1e-3), 1e-9)
+    up = fn(_perturbed(params, field, base_value + h))
+    down = fn(_perturbed(params, field, base_value - h))
+    base_out = fn(params)
+    gradient = (up - down) / (2 * h)
+    el = gradient * base_value / base_out if base_out != 0 and base_value != 0 else 0.0
+    return Sensitivity(
+        parameter=field, base_value=base_value,
+        gradient=float(gradient), elasticity=float(el),
+    )
+
+
+def speedup_sensitivities(
+    params: AppParams,
+    n: int = 256,
+    r: "float | None" = None,
+    growth: "str | GrowthFunction | None" = None,
+    perf: "str | PerfLaw | None" = None,
+) -> list[Sensitivity]:
+    """Sensitivities of the symmetric speedup at a design point.
+
+    With ``r`` unset the *optimal* design is re-solved at every
+    perturbation — the sensitivity of the achievable speedup, not of one
+    frozen chip.
+    """
+
+    def objective(p: AppParams) -> float:
+        if r is not None:
+            return float(merging.speedup_symmetric(p, n, r, growth, perf))
+        return merging.best_symmetric(p, n, growth, perf).speedup
+
+    return [elasticity(objective, params, field) for field in _FIELDS]
+
+
+def tornado(sensitivities: Sequence[Sensitivity]) -> list[Sensitivity]:
+    """Rank sensitivities by |elasticity|, largest first."""
+    return sorted(sensitivities, key=lambda s: abs(s.elasticity), reverse=True)

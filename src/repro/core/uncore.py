@@ -1,0 +1,112 @@
+"""Uncore area costs combined with merging phases (Loh-style model).
+
+The paper's Related Work cites Loh's observation [ALTA 2008] that
+"uncore" resources — interconnect, directories, memory controllers, shared
+cache slices — consume chip area that grows with the core count, but
+notes Loh "does not consider the serializing nature of merging phases".
+This module combines the two: each core pays an uncore area tax, shrinking
+the budget available to cores, *and* the merge grows with the core count.
+
+Area model.  With per-core uncore overhead ``tau`` (in BCEs per core),
+hosting ``nc`` cores of ``r`` BCEs requires ``nc·(r + tau) <= n``, i.e.
+the effective core count is ``nc = n / (r + tau)``.  Both the parallel
+throughput and the merge growth see this reduced ``nc``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.growth import GrowthFunction, resolve_growth
+from repro.core.params import AppParams
+from repro.core.perf import PerfLaw, resolve_perf_law
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = ["speedup_symmetric_uncore", "best_symmetric_uncore", "uncore_break_even"]
+
+
+def speedup_symmetric_uncore(
+    params: AppParams,
+    n: int,
+    r: "float | np.ndarray",
+    tau: float,
+    growth: "str | GrowthFunction | None" = None,
+    perf: "str | PerfLaw | None" = None,
+) -> "float | np.ndarray":
+    """Eq 4 with a per-core uncore area tax of ``tau`` BCEs.
+
+    ``tau = 0`` recovers the plain merging model.  The chip hosts
+    ``nc = n / (r + tau)`` cores; the parallel section runs on their
+    aggregate throughput ``nc·perf(r)``; the merge grows with ``nc``.
+    """
+    n = check_positive_int(n, "n")
+    check_positive(tau, "tau", allow_zero=True)
+    law = resolve_perf_law(perf)
+    g = resolve_growth(growth)
+    arr = np.asarray(r, dtype=np.float64)
+    if np.any(arr <= 0) or np.any(arr + tau > n):
+        raise ValueError(
+            f"need 0 < r and r + tau <= n; got r={r!r}, tau={tau}, n={n}"
+        )
+    pr = np.asarray(law(arr), dtype=np.float64)
+    nc = n / (arr + tau)
+    serial = (
+        params.fcon + params.fcred + params.fored * np.asarray(g(nc))
+    ) / pr
+    parallel = params.f / (nc * pr)
+    out = 1.0 / (serial + parallel)
+    return float(out) if np.asarray(r).ndim == 0 else out
+
+
+def best_symmetric_uncore(
+    params: AppParams,
+    n: int,
+    tau: float,
+    growth: "str | GrowthFunction | None" = None,
+    perf: "str | PerfLaw | None" = None,
+) -> tuple[float, float]:
+    """(r*, speedup*) over the power-of-two grid under an uncore tax."""
+    from repro.core.merging import power_of_two_sizes
+
+    sizes = power_of_two_sizes(n)
+    sizes = sizes[sizes + tau <= n]
+    sp = np.asarray(speedup_symmetric_uncore(params, n, sizes, tau, growth, perf))
+    i = int(np.argmax(sp))
+    return float(sizes[i]), float(sp[i])
+
+
+def uncore_break_even(
+    params: AppParams,
+    n: int,
+    r: float,
+    growth: "str | GrowthFunction | None" = None,
+    perf: "str | PerfLaw | None" = None,
+    tol: float = 1e-6,
+) -> float:
+    """The uncore tax at which halving the core count costs nothing.
+
+    Returns the smallest ``tau`` such that a chip of ``n/(r+tau)`` cores
+    of ``r`` BCEs is no faster than a chip of half as many ``2r``-BCE
+    cores with the same tax — i.e. the point where uncore overhead (which
+    charges per core) makes consolidation free.  Found by bisection;
+    returns ``inf`` if no tax below ``n - r`` flips the comparison.
+    """
+    check_positive(r, "r")
+
+    def gap(tau: float) -> float:
+        small = float(speedup_symmetric_uncore(params, n, r, tau, growth, perf))
+        big = float(speedup_symmetric_uncore(params, n, 2 * r, tau, growth, perf))
+        return small - big
+
+    lo, hi = 0.0, float(n - 2 * r)
+    if gap(lo) <= 0:
+        return 0.0
+    if gap(hi) > 0:
+        return float("inf")
+    while hi - lo > tol:
+        mid = (lo + hi) / 2
+        if gap(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2

@@ -1,0 +1,26 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Every driver exposes ``run(**options) -> ExperimentReport``; the registry
+maps experiment ids ("table2", "fig4", ...) to drivers so the CLI and the
+benchmark harness share one entry point.
+
+============  ========================================================
+id            reproduces
+============  ========================================================
+table1        baseline machine configuration
+table2        measured application parameters (simulator sweep)
+table3        application classes for the design-space study
+table4        dataset-sensitivity study
+fig2          scalability, serial growth, hardware validation, accuracy
+fig3          speedup predictions to 256 cores (Amdahl vs extended)
+fig4          symmetric-CMP design sweeps (4 panels)
+fig5          asymmetric-CMP design sweeps (8 panels)
+fig7          communication-aware model (2 panels)
+ablations     beyond-the-paper design-choice probes
+============  ========================================================
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["ExperimentReport", "EXPERIMENTS", "get_experiment", "run_experiment"]

@@ -1,0 +1,102 @@
+"""Diffing stored experiment reports (regression tracking).
+
+``repro-merging diff old.json new.json`` compares two JSON reports of the
+same experiment: which paper comparisons flipped, which measured values
+moved, which tables changed shape.  Intended workflow: archive reports
+with ``run --json`` at a known-good revision, diff after model or
+simulator changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["ReportDiff", "diff_reports"]
+
+
+@dataclass
+class ReportDiff:
+    """Differences between two reports of the same experiment."""
+
+    experiment_id: str
+    flipped_claims: list[str] = field(default_factory=list)
+    changed_values: list[tuple[str, str, str]] = field(default_factory=list)
+    added_claims: list[str] = field(default_factory=list)
+    removed_claims: list[str] = field(default_factory=list)
+    table_shape_changes: list[str] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        """True when nothing regressed or changed."""
+        return not (
+            self.flipped_claims
+            or self.changed_values
+            or self.added_claims
+            or self.removed_claims
+            or self.table_shape_changes
+        )
+
+    def render(self) -> str:
+        if self.is_clean:
+            return f"{self.experiment_id}: no differences"
+        lines = [f"{self.experiment_id}: differences found"]
+        for claim in self.flipped_claims:
+            lines.append(f"  FLIPPED: {claim}")
+        for claim, old, new in self.changed_values:
+            lines.append(f"  value changed: {claim}: {old} -> {new}")
+        for claim in self.added_claims:
+            lines.append(f"  added claim: {claim}")
+        for claim in self.removed_claims:
+            lines.append(f"  removed claim: {claim}")
+        for msg in self.table_shape_changes:
+            lines.append(f"  table: {msg}")
+        return "\n".join(lines)
+
+
+def diff_reports(old: ExperimentReport, new: ExperimentReport) -> ReportDiff:
+    """Structural diff of two reports.
+
+    Claims are matched by their text; a claim whose ``matches()`` outcome
+    changed is *flipped* (the regression signal), one whose measured value
+    merely moved is reported as a value change.
+    """
+    if old.experiment_id != new.experiment_id:
+        raise ValueError(
+            f"cannot diff different experiments: "
+            f"{old.experiment_id!r} vs {new.experiment_id!r}"
+        )
+    diff = ReportDiff(experiment_id=new.experiment_id)
+    old_by_claim = {c.claim: c for c in old.comparisons}
+    new_by_claim = {c.claim: c for c in new.comparisons}
+    for claim, oc in old_by_claim.items():
+        nc = new_by_claim.get(claim)
+        if nc is None:
+            diff.removed_claims.append(claim)
+            continue
+        if oc.matches() != nc.matches():
+            diff.flipped_claims.append(
+                f"{claim} ({'held' if oc.matches() else 'failed'} -> "
+                f"{'holds' if nc.matches() else 'FAILS'})"
+            )
+        elif str(oc.measured_value) != str(nc.measured_value):
+            diff.changed_values.append(
+                (claim, str(oc.measured_value), str(nc.measured_value))
+            )
+    for claim in new_by_claim:
+        if claim not in old_by_claim:
+            diff.added_claims.append(claim)
+
+    old_tables = {t.title: t for t in old.tables}
+    new_tables = {t.title: t for t in new.tables}
+    for title, ot in old_tables.items():
+        nt = new_tables.get(title)
+        if nt is None:
+            diff.table_shape_changes.append(f"removed: {title!r}")
+        elif (len(ot.rows), list(ot.columns)) != (len(nt.rows), list(nt.columns)):
+            diff.table_shape_changes.append(f"shape changed: {title!r}")
+    for title in new_tables:
+        if title not in old_tables:
+            diff.table_shape_changes.append(f"added: {title!r}")
+    return diff

@@ -1,0 +1,89 @@
+"""Fig 4 — scalability on symmetric CMPs (four panels).
+
+Each panel fixes (fcon, fored) and sweeps the per-core area r over
+1..256 BCEs for f in {0.999, 0.99} under Linear and Log reduction growth —
+exactly the paper's Eq 4 with perf(r) = sqrt(r) and n = 256.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import merging
+from repro.core.growth import LINEAR, LOG
+from repro.core.params import AppParams
+from repro.experiments.report import ExperimentReport, PaperComparison, series_table
+
+__all__ = ["run", "PANELS"]
+
+#: (panel, fcon_share, fored_share) in the paper's order.
+PANELS = (
+    ("a", 0.90, 0.10),  # high constant, low reduction overhead
+    ("b", 0.90, 0.80),  # high constant, high reduction overhead
+    ("c", 0.60, 0.10),  # moderate constant, low reduction overhead
+    ("d", 0.60, 0.80),  # moderate constant, high reduction overhead
+)
+
+#: numeric anchors quoted in the paper's Section V.D.1 text
+_ANCHORS = (
+    ("c", 0.999, "Linear", 104.5, 4.0),
+    ("d", 0.999, "Linear", 67.1, 8.0),
+    ("d", 0.99, "Linear", 36.2, 32.0),
+    ("b", 0.99, "Linear", 47.6, 16.0),
+)
+
+
+def run(n: int = 256) -> ExperimentReport:
+    """Regenerate all four Fig 4 panels."""
+    report = ExperimentReport("fig4", "Scalability on symmetric CMPs")
+    sizes = merging.power_of_two_sizes(n)
+    curves: dict[tuple, np.ndarray] = {}
+
+    for panel, con, ored in PANELS:
+        series = {}
+        for f in (0.999, 0.99):
+            p = AppParams(f=f, fcon_share=con, fored_share=ored)
+            for growth, glabel in ((LINEAR, "Linear"), (LOG, "Log")):
+                sp = np.asarray(merging.speedup_symmetric(p, n, sizes, growth))
+                series[f"f={f} {glabel}"] = sp
+                curves[(panel, f, glabel)] = sp
+        report.add_table(series_table(
+            f"Fig 4({panel}) — fcon={int(con * 100)}%, fored={int(ored * 100)}%",
+            "r (BCEs/core)", [int(s) for s in sizes], series,
+        ))
+
+    for panel, f, glabel, peak_value, peak_r in _ANCHORS:
+        sp = curves[(panel, f, glabel)]
+        i = int(np.argmax(sp))
+        report.add_comparison(PaperComparison(
+            claim=f"4({panel}) f={f} {glabel}: peak {peak_value} at r={peak_r:.0f}",
+            paper_value=peak_value, measured_value=float(sp[i]), tolerance=0.01,
+        ))
+        report.add_comparison(PaperComparison(
+            claim=f"4({panel}) f={f} {glabel}: peak location r={peak_r:.0f}",
+            paper_value=peak_r, measured_value=float(sizes[i]), tolerance=0.01,
+        ))
+
+    # qualitative: under Linear growth, r=1 never wins; under Log growth,
+    # embarrassingly parallel apps peak at r=1 (Section V.D.1).
+    r1_never_best = all(
+        sizes[int(np.argmax(curves[(panel, f, "Linear")]))] > 1.0
+        for panel, _, _ in PANELS for f in (0.999, 0.99)
+    )
+    report.add_comparison(PaperComparison(
+        claim="Linear growth: 256 small cores never optimal",
+        paper_value="r=1 never peaks", measured_value=str(r1_never_best),
+        qualitative=True, claim_holds=r1_never_best,
+    ))
+    emb_log_small_cores = all(
+        sizes[int(np.argmax(curves[(panel, 0.999, "Log")]))] == 1.0
+        for panel, _, ored in PANELS if ored == 0.10
+    )
+    report.add_comparison(PaperComparison(
+        claim="Log growth, emb. parallel, low overhead: small cores win",
+        paper_value="r=1 peaks", measured_value=str(emb_log_small_cores),
+        qualitative=True, claim_holds=emb_log_small_cores,
+    ))
+    report.raw["curves"] = curves
+    report.raw["sizes"] = sizes
+    return report

@@ -1,0 +1,57 @@
+"""Experiment registry: id → driver."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.experiments import ablations, conclusions, extensions, falsesharing
+from repro.experiments import locked_reduction, mix_study
+from repro.experiments import fig1_fig6, fig2, fig3, fig4, fig5, fig7
+from repro.experiments import table1, table2, table3, table4
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+EXPERIMENTS: Mapping[str, Callable[..., ExperimentReport]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "fig1": fig1_fig6.run_fig1,
+    "fig6": fig1_fig6.run_fig6,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig7": fig7.run,
+    "ablations": ablations.run,
+    "ablation-perf": ablations.run_perf_law,
+    "ablation-topology": ablations.run_topology,
+    "ablation-reduction": ablations.run_reduction_strategy,
+    "ablation-rmap": ablations.run_optimal_r_map,
+    "ablation-machine": ablations.run_machine_model,
+    "ext-critical": extensions.run_critical,
+    "ext-energy": extensions.run_energy,
+    "ext-scaled": extensions.run_scaled,
+    "ext-contention": extensions.run_contention,
+    "ext-acmp-sim": extensions.run_acmp_sim,
+    "ext-crossover-sim": extensions.run_crossover_sim,
+    "ext-falsesharing": falsesharing.run,
+    "ext-locked-reduction": locked_reduction.run,
+    "ext-mix": mix_study.run,
+    "conclusions": conclusions.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentReport]:
+    """Look up a driver by id; raises with the list of known ids."""
+    if experiment_id not in EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[experiment_id]
+
+
+def run_experiment(experiment_id: str, **options) -> ExperimentReport:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)(**options)

@@ -1,0 +1,98 @@
+"""Experiment report container and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.util.tables import TextTable
+
+__all__ = ["ExperimentReport", "PaperComparison"]
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    """One quantitative claim of the paper checked against our measurement.
+
+    ``matches`` applies ``tolerance`` as a relative bound when both values
+    are numeric; qualitative claims use ``claim_holds`` directly.
+    """
+
+    claim: str
+    paper_value: "float | str"
+    measured_value: "float | str"
+    tolerance: float = 0.05
+    qualitative: bool = False
+    claim_holds: "bool | None" = None
+
+    def matches(self) -> bool:
+        if self.qualitative:
+            return bool(self.claim_holds)
+        paper = float(self.paper_value)
+        ours = float(self.measured_value)
+        if paper == 0:
+            return abs(ours) <= self.tolerance
+        return abs(ours - paper) / abs(paper) <= self.tolerance
+
+
+@dataclass
+class ExperimentReport:
+    """Everything an experiment produced, renderable as text or CSV."""
+
+    experiment_id: str
+    title: str
+    tables: list[TextTable] = field(default_factory=list)
+    comparisons: list[PaperComparison] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    raw: dict = field(default_factory=dict)
+
+    def add_table(self, table: TextTable) -> None:
+        self.tables.append(table)
+
+    def add_comparison(self, cmp_: PaperComparison) -> None:
+        self.comparisons.append(cmp_)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    @property
+    def all_match(self) -> bool:
+        """True when every recorded paper comparison holds."""
+        return all(c.matches() for c in self.comparisons)
+
+    def render(self) -> str:
+        """Full text report: tables, then the paper-vs-measured scoreboard."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        for t in self.tables:
+            parts.append(t.render())
+        if self.comparisons:
+            score = TextTable(
+                title="paper vs measured",
+                columns=["claim", "paper", "measured", "ok"],
+            )
+            for c in self.comparisons:
+                score.add_row([
+                    c.claim,
+                    c.paper_value if isinstance(c.paper_value, str) else float(c.paper_value),
+                    c.measured_value
+                    if isinstance(c.measured_value, str)
+                    else float(c.measured_value),
+                    "yes" if c.matches() else "NO",
+                ])
+            parts.append(score.render())
+        for n in self.notes:
+            parts.append(f"note: {n}")
+        return "\n\n".join(parts)
+
+
+def series_table(
+    title: str,
+    x_name: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+) -> TextTable:
+    """A figure's data as a table (x column + one column per series)."""
+    t = TextTable(title=title, columns=[x_name, *series.keys()])
+    for i, x in enumerate(x_values):
+        t.add_row([x, *(float(v[i]) for v in series.values())])
+    return t

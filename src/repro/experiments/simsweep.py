@@ -1,0 +1,102 @@
+"""Shared simulator-sweep machinery for the measurement experiments.
+
+Table II and Fig 2 both sweep the three workloads across core counts on
+the simulator.  The paper uses the full MineBench datasets; a pure-Python
+discrete-event simulator prices that in minutes, so the drivers accept a
+``scale`` knob (fraction of the paper's dataset size) defaulting to a size
+that keeps a full sweep in tens of seconds.  Because the extracted
+quantities are *fractions and growth slopes*, they are stable under
+dataset scaling (Table IV of the paper makes exactly this argument) —
+the absolute serial percentage shifts with scale, which EXPERIMENTS.md
+records.
+
+Results are memoised per (workload-config, cores) within a process, so the
+Table II, Fig 2 and benchmark drivers share one set of simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.simx import Machine, MachineConfig
+from repro.workloads.base import ClusteringWorkloadBase
+from repro.workloads.datasets import make_blobs, make_particles
+from repro.workloads.fuzzy import FuzzyCMeansWorkload
+from repro.workloads.hop import HopWorkload
+from repro.workloads.instrument import PhaseBreakdown, breakdown_from_simulation
+from repro.workloads.kmeans import KMeansWorkload
+from repro.workloads.tracegen import program_from_execution
+
+__all__ = ["default_workloads", "simulate_breakdowns", "clear_cache"]
+
+#: paper dataset attributes (kmeans/fuzzy: N, D, C; hop: particles)
+_PAPER_N = 17695
+_PAPER_HOP_N = 61440
+
+_cache: dict[tuple, PhaseBreakdown] = {}
+
+
+def clear_cache() -> None:
+    """Drop memoised simulation results (tests use this for isolation)."""
+    _cache.clear()
+
+
+def default_workloads(
+    scale: float = 0.15, max_iterations: int = 4
+) -> Mapping[str, ClusteringWorkloadBase]:
+    """The three paper workloads at ``scale`` times the paper's data size."""
+    if not (0 < scale <= 1.0):
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    n = max(200, int(_PAPER_N * scale))
+    n_hop = max(400, int(_PAPER_HOP_N * scale * 0.25))
+    return {
+        "kmeans": KMeansWorkload(
+            make_blobs(n, 9, 8, seed=11, label="kmeans-base"),
+            max_iterations=max_iterations, tolerance=1e-12,
+        ),
+        "fuzzy": FuzzyCMeansWorkload(
+            make_blobs(n, 9, 8, seed=21, label="fuzzy-base"),
+            max_iterations=max_iterations, tolerance=1e-12,
+        ),
+        "hop": HopWorkload(
+            make_particles(n_hop, n_halos=16, seed=31, label="hop-default"),
+            n_neighbors=12,
+        ),
+    }
+
+
+def _key(workload: ClusteringWorkloadBase, p: int, n_cores: int, mem_scale: int) -> tuple:
+    ds = getattr(workload, "dataset", None)
+    if ds is not None:
+        size = getattr(ds, "n_points", getattr(ds, "n_particles", 0))
+    else:
+        size = getattr(workload, "n_items", 0)
+    return (
+        workload.name,
+        size,
+        getattr(workload, "n_bins", 0),
+        getattr(workload, "max_iterations", 1),
+        getattr(workload, "reduction_strategy", "serial"),
+        p,
+        n_cores,
+        mem_scale,
+    )
+
+
+def simulate_breakdowns(
+    workload: ClusteringWorkloadBase,
+    thread_counts: Iterable[int] = (1, 2, 4, 8, 16),
+    n_cores: int = 16,
+    mem_scale: int = 2,
+) -> dict[int, PhaseBreakdown]:
+    """Run the workload on the simulator per thread count and return the
+    per-phase breakdowns (memoised)."""
+    machine = Machine(MachineConfig.baseline(n_cores=n_cores))
+    out: dict[int, PhaseBreakdown] = {}
+    for p in thread_counts:
+        key = _key(workload, p, n_cores, mem_scale)
+        if key not in _cache:
+            prog = program_from_execution(workload.execute(p), mem_scale=mem_scale)
+            _cache[key] = breakdown_from_simulation(machine.run(prog))
+        out[p] = _cache[key]
+    return out

@@ -1,0 +1,86 @@
+"""Persisting experiment reports as JSON.
+
+Reports round-trip to a stable JSON schema so runs can be archived,
+diffed across code versions, and consumed by external tooling (the CLI's
+``run --json`` flag).  Only the structured content is serialised — tables,
+comparisons, notes; ``raw`` objects (numpy arrays, dataclasses) stay
+in-process.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.report import ExperimentReport, PaperComparison
+from repro.util.tables import TextTable
+
+__all__ = ["report_to_dict", "report_from_dict", "save_report", "load_report"]
+
+_SCHEMA_VERSION = 1
+
+
+def report_to_dict(report: ExperimentReport) -> dict:
+    """Serialise a report to plain JSON-compatible data."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "tables": [
+            {"title": t.title, "columns": list(t.columns), "rows": t.rows}
+            for t in report.tables
+        ],
+        "comparisons": [
+            {
+                "claim": c.claim,
+                "paper_value": c.paper_value,
+                "measured_value": c.measured_value,
+                "tolerance": c.tolerance,
+                "qualitative": c.qualitative,
+                "claim_holds": c.claim_holds,
+                "matches": c.matches(),
+            }
+            for c in report.comparisons
+        ],
+        "notes": list(report.notes),
+        "all_match": report.all_match,
+    }
+
+
+def report_from_dict(data: dict) -> ExperimentReport:
+    """Rebuild a report from its JSON form (raw data is not restored)."""
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported report schema {data.get('schema')!r}; "
+            f"expected {_SCHEMA_VERSION}"
+        )
+    report = ExperimentReport(data["experiment_id"], data["title"])
+    for t in data["tables"]:
+        table = TextTable(title=t["title"], columns=t["columns"])
+        table.rows = [list(r) for r in t["rows"]]
+        report.add_table(table)
+    for c in data["comparisons"]:
+        report.add_comparison(PaperComparison(
+            claim=c["claim"],
+            paper_value=c["paper_value"],
+            measured_value=c["measured_value"],
+            tolerance=c["tolerance"],
+            qualitative=c["qualitative"],
+            claim_holds=c["claim_holds"],
+        ))
+    for n in data["notes"]:
+        report.add_note(n)
+    return report
+
+
+def save_report(report: ExperimentReport, path: "str | Path") -> Path:
+    """Write a report's JSON form to disk; returns the path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(report_to_dict(report), indent=2, default=str) + "\n")
+    return p
+
+
+def load_report(path: "str | Path") -> ExperimentReport:
+    """Read a report back from disk."""
+    return report_from_dict(json.loads(Path(path).read_text()))

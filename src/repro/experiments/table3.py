@@ -1,0 +1,28 @@
+"""Table III — application classes and parameters for the design study."""
+
+from __future__ import annotations
+
+from repro.core.classes import TABLE3_CLASSES
+from repro.experiments.report import ExperimentReport
+from repro.util.tables import TextTable
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentReport:
+    """Render the eight application classes."""
+    report = ExperimentReport("table3", "Application classes and parameters")
+    t = TextTable(
+        title="Table III — application classes",
+        columns=["parallelism", "constant", "reduction", "f", "fcon (%)", "fored (%)"],
+    )
+    for cls in TABLE3_CLASSES:
+        p = cls.params()
+        t.add_row([
+            "Emb." if cls.parallelism == "emb" else "Non-emb.",
+            cls.constant, cls.reduction,
+            p.f, 100 * p.fcon_share, 100 * p.fored_share,
+        ])
+    report.add_table(t)
+    report.raw["classes"] = TABLE3_CLASSES
+    return report

@@ -1,0 +1,27 @@
+"""Hardware-validation substrate (the paper's 2-socket Xeon substitute).
+
+The paper validates the growing-serial-section observation on a real
+two-socket Xeon E5520 machine (8 cores).  This package provides:
+
+* :mod:`repro.hardware.machine_model` — a deterministic analytical model of
+  that machine (NUMA sockets, cache-to-cache transfer costs, barrier
+  overheads) that converts a workload's phase accounting into wall-clock
+  times.  Default backend: reproducible everywhere, including CI.
+* :mod:`repro.hardware.executor` — runs a workload either on the machine
+  model or, optionally, on the *actual* host using ``multiprocessing``
+  with real timers (``backend="process"``), for users who want Fig 2(c) on
+  their own silicon.
+* :mod:`repro.hardware.calibration` — compares simulator- and
+  hardware-derived growth curves and parameters.
+"""
+
+from repro.hardware.calibration import compare_growth_curves
+from repro.hardware.executor import execute_workload
+from repro.hardware.machine_model import HardwareMachineModel, XEON_E5520
+
+__all__ = [
+    "HardwareMachineModel",
+    "XEON_E5520",
+    "execute_workload",
+    "compare_growth_curves",
+]

@@ -1,0 +1,60 @@
+"""Cross-validation of simulator and hardware growth curves.
+
+Fig 2(c) of the paper exists to show that the growing-serial-section
+behaviour seen in simulation also appears on real hardware.  This module
+quantifies the agreement between two serial-growth curves (simulator vs
+hardware-model or real-process measurements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["GrowthComparison", "compare_growth_curves"]
+
+
+@dataclass(frozen=True)
+class GrowthComparison:
+    """Agreement metrics between two normalised serial-growth curves."""
+
+    cores: tuple[int, ...]
+    curve_a: tuple[float, ...]
+    curve_b: tuple[float, ...]
+
+    @property
+    def correlation(self) -> float:
+        """Pearson correlation of the two curves (1.0 = same shape)."""
+        a, b = np.asarray(self.curve_a), np.asarray(self.curve_b)
+        if a.std() == 0 or b.std() == 0:
+            return 1.0 if np.allclose(a, b) else 0.0
+        return float(np.corrcoef(a, b)[0, 1])
+
+    @property
+    def max_relative_deviation(self) -> float:
+        """max |a − b| / b over the sweep."""
+        a, b = np.asarray(self.curve_a), np.asarray(self.curve_b)
+        return float(np.max(np.abs(a - b) / np.maximum(b, 1e-12)))
+
+    def both_grow(self) -> bool:
+        """True when both curves are (weakly) increasing — the qualitative
+        claim Fig 2(c) validates."""
+        a, b = np.asarray(self.curve_a), np.asarray(self.curve_b)
+        return bool(np.all(np.diff(a) >= -1e-9) and np.all(np.diff(b) >= -1e-9))
+
+
+def compare_growth_curves(
+    curve_a: Mapping[int, float], curve_b: Mapping[int, float]
+) -> GrowthComparison:
+    """Compare two {core count → normalised serial time} curves on their
+    common core counts."""
+    common = sorted(set(curve_a) & set(curve_b))
+    if len(common) < 2:
+        raise ValueError("need at least two common core counts to compare")
+    return GrowthComparison(
+        cores=tuple(common),
+        curve_a=tuple(float(curve_a[c]) for c in common),
+        curve_b=tuple(float(curve_b[c]) for c in common),
+    )

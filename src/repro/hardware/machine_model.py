@@ -1,0 +1,131 @@
+"""A deterministic analytical model of a small NUMA multiprocessor.
+
+Converts :class:`~repro.workloads.base.PhaseWork` accounting into
+nanosecond-scale wall-clock times for a machine like the paper's testbed
+(two Xeon E5520 sockets, four cores each):
+
+* compute bursts retire at ``frequency × ipc`` instructions per second;
+* private memory traffic streams at an effective per-access cost
+  (hardware prefetchers make sequential scans cheap);
+* *shared* reads — lines last written by another core — pay a
+  cache-to-cache transfer, with a larger penalty when the owner sits on
+  the other socket (QPI hop);
+* every fork-join phase boundary costs a barrier latency that grows
+  logarithmically with the thread count.
+
+The model is intentionally simple: the paper only needs the *relative*
+growth of serial-section time with core count, which this reproduces
+deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive, check_positive_int
+from repro.workloads.base import PhaseWork
+
+__all__ = ["HardwareMachineModel", "XEON_E5520"]
+
+
+@dataclass(frozen=True)
+class HardwareMachineModel:
+    """Timing parameters of a small NUMA machine (times in nanoseconds).
+
+    Parameters
+    ----------
+    n_sockets / cores_per_socket:
+        Topology; threads are packed socket-first (0..3 on socket 0, ...).
+    frequency_ghz / ipc:
+        Sustained instruction throughput per core.
+    private_access_ns:
+        Effective cost of a private (streamed, prefetched) memory access.
+    local_c2c_ns / remote_c2c_ns:
+        Cache-to-cache transfer cost within a socket / across sockets.
+    barrier_base_ns:
+        Per-round cost of a fork-join barrier (multiplied by log2(p)+1).
+    elements_per_line:
+        Memory-operation counts are per float64 element; transfers move
+        whole 64-byte cache lines, so per-element costs are the line costs
+        divided by this (8 for float64).
+    """
+
+    n_sockets: int = 2
+    cores_per_socket: int = 4
+    frequency_ghz: float = 2.26
+    ipc: float = 2.0
+    private_access_ns: float = 1.2
+    local_c2c_ns: float = 25.0
+    remote_c2c_ns: float = 95.0
+    barrier_base_ns: float = 400.0
+    elements_per_line: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_sockets, "n_sockets")
+        check_positive_int(self.cores_per_socket, "cores_per_socket")
+        check_positive(self.frequency_ghz, "frequency_ghz")
+        check_positive(self.ipc, "ipc")
+        check_positive(self.private_access_ns, "private_access_ns")
+        check_positive(self.local_c2c_ns, "local_c2c_ns")
+        check_positive(self.remote_c2c_ns, "remote_c2c_ns")
+        check_positive(self.barrier_base_ns, "barrier_base_ns")
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_sockets * self.cores_per_socket
+
+    def socket_of(self, thread_id: int) -> int:
+        """Socket a thread is pinned to (packed placement)."""
+        return (thread_id // self.cores_per_socket) % self.n_sockets
+
+    def instruction_time_ns(self, instructions: int) -> float:
+        """Time to retire a compute burst."""
+        return instructions / (self.frequency_ghz * self.ipc)
+
+    def shared_access_ns(self, reader: int, n_threads: int) -> float:
+        """Average cost of one coherence-miss read for ``reader``, with
+        owners spread uniformly over the other active threads."""
+        if n_threads <= 1:
+            return self.private_access_ns
+        others = [t for t in range(n_threads) if t != reader]
+        total = sum(
+            self.remote_c2c_ns
+            if self.socket_of(t) != self.socket_of(reader)
+            else self.local_c2c_ns
+            for t in others
+        )
+        return total / len(others)
+
+    def thread_time_ns(self, work: PhaseWork, thread_id: int) -> float:
+        """Busy time of one thread inside one phase."""
+        instr = work.per_thread_instructions[thread_id]
+        reads = work.per_thread_reads[thread_id]
+        writes = work.per_thread_writes[thread_id]
+        shared = work.shared_reads[thread_id] if work.shared_reads else 0
+        private_ops = max(0, reads - shared) + writes
+        t = self.instruction_time_ns(instr)
+        t += private_ops * self.private_access_ns
+        # coherence misses are paid once per cache line, not per element
+        t += (
+            shared
+            * self.shared_access_ns(thread_id, work.n_threads)
+            / self.elements_per_line
+        )
+        return t
+
+    def phase_wall_time_ns(self, work: PhaseWork) -> float:
+        """Wall-clock time of one fork-join phase (slowest thread plus the
+        closing barrier when more than one thread participates)."""
+        slowest = max(
+            self.thread_time_ns(work, t) for t in range(work.n_threads)
+        )
+        if work.n_threads > 1:
+            import math
+
+            rounds = math.ceil(math.log2(work.n_threads)) + 1
+            slowest += self.barrier_base_ns * rounds
+        return slowest
+
+
+#: The paper's validation machine: two 4-core Xeon E5520 sockets.
+XEON_E5520 = HardwareMachineModel()

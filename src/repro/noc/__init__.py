@@ -1,0 +1,34 @@
+"""Network-on-chip substrate for the communication-aware model (Section V.E).
+
+The paper derives Eq 8 for a 2D mesh from first principles: link count,
+bisection-free aggregate throughput, and average hop distance.  This package
+implements those quantities for a family of topologies so that the derivation
+can be *checked* (against exhaustive shortest-path computation) and the
+communication model extended beyond meshes (ablation benchmarks).
+"""
+
+from repro.noc.comm_cost import (
+    growcomm_for,
+    reduction_comm_operations,
+    topology_growcomm,
+)
+from repro.noc.topology import (
+    FullyConnected,
+    Mesh2D,
+    Ring,
+    Topology,
+    Torus2D,
+    resolve_topology,
+)
+
+__all__ = [
+    "Topology",
+    "Mesh2D",
+    "Torus2D",
+    "Ring",
+    "FullyConnected",
+    "resolve_topology",
+    "growcomm_for",
+    "topology_growcomm",
+    "reduction_comm_operations",
+]

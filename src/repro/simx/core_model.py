@@ -1,0 +1,67 @@
+"""Per-core timing model.
+
+Translates trace operations into cycles:
+
+* :class:`~repro.simx.trace.Compute` bursts are timed by the core's
+  effective IPC (Table I's pipeline widths enter through
+  :attr:`~repro.simx.config.CoreConfig.effective_ipc`);
+* loads and stores are delegated to the MESI coherence controller, which
+  returns the full hierarchy latency.
+
+Synchronisation and phase markers are handled by the machine scheduler, not
+here.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.simx.coherence import CoherenceController
+from repro.simx.config import CoreConfig
+
+__all__ = ["CoreModel"]
+
+
+class CoreModel:
+    """The timing model for one core.
+
+    ``perf_factor`` scales compute throughput (a 4-BCE core under the
+    sqrt-area law has factor 2); memory latencies are not scaled — the
+    cache hierarchy and interconnect are no faster for a bigger core.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig,
+        coherence: CoherenceController,
+        perf_factor: float = 1.0,
+    ):
+        if perf_factor <= 0:
+            raise ValueError(f"perf_factor must be > 0, got {perf_factor}")
+        self.core_id = core_id
+        self.config = config
+        self.coherence = coherence
+        self.perf_factor = perf_factor
+        self.instructions_retired = 0
+        self.loads = 0
+        self.stores = 0
+
+    def compute_cycles(self, instructions: int) -> int:
+        """Cycles to retire a burst of non-memory instructions."""
+        if instructions < 0:
+            raise ValueError(f"instructions must be >= 0, got {instructions}")
+        self.instructions_retired += instructions
+        return math.ceil(instructions / (self.config.effective_ipc * self.perf_factor))
+
+    def load_cycles(self, addr: int, now: int = 0) -> int:
+        """Cycles for a load through the cache hierarchy."""
+        self.loads += 1
+        self.instructions_retired += 1
+        return self.coherence.read(self.core_id, addr, now)
+
+    def store_cycles(self, addr: int, now: int = 0) -> int:
+        """Cycles for a store through the cache hierarchy."""
+        self.stores += 1
+        self.instructions_retired += 1
+        return self.coherence.write(self.core_id, addr, now)

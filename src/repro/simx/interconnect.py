@@ -1,0 +1,109 @@
+"""Core-to-L2 interconnect timing models.
+
+Two models, matching the paper's settings:
+
+* **bus** — a shared snooping bus with a fixed transfer latency (the
+  classic small-scale CMP; the paper's 16-core simulations);
+* **mesh** — a 2D mesh of tiles, each holding one core and one bank of the
+  distributed shared L2 (home bank = line address modulo core count); the
+  transfer latency is the XY hop count times the per-hop latency (the
+  topology Section V.E analyses).
+"""
+
+from __future__ import annotations
+
+from repro.noc.topology import Mesh2D
+from repro.simx.config import MachineConfig
+
+__all__ = ["Interconnect", "BusInterconnect", "ContendedBus", "MeshInterconnect", "build_interconnect"]
+
+
+class Interconnect:
+    """Latency oracle between a requesting core and a line's L2 home.
+
+    ``now`` is the requesting core's local clock; contended interconnects
+    use it to model arbitration queueing, uncontended ones ignore it.
+    """
+
+    def request_latency(self, core: int, line_addr: int, now: int = 0) -> int:
+        """Cycles to send a request and receive the reply."""
+        raise NotImplementedError
+
+    def core_to_core_latency(self, src: int, dst: int) -> int:
+        """Cycles for a cache-to-cache transfer between two cores."""
+        raise NotImplementedError
+
+
+class BusInterconnect(Interconnect):
+    """A fixed-latency shared bus (infinite bandwidth)."""
+
+    def __init__(self, latency: int):
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.latency = latency
+
+    def request_latency(self, core: int, line_addr: int, now: int = 0) -> int:
+        return self.latency
+
+    def core_to_core_latency(self, src: int, dst: int) -> int:
+        return self.latency if src != dst else 0
+
+
+class ContendedBus(BusInterconnect):
+    """A shared bus with arbitration: one transaction at a time.
+
+    Every request occupies the bus for ``occupancy`` cycles; a request
+    issued while the bus is busy queues until it frees.  With many cores
+    issuing misses concurrently this is the classic snooping-bus
+    saturation that caps small-core designs.
+    """
+
+    def __init__(self, latency: int, occupancy: int):
+        super().__init__(latency)
+        if occupancy < 1:
+            raise ValueError(f"occupancy must be >= 1, got {occupancy}")
+        self.occupancy = occupancy
+        self.busy_until = 0
+        self.queued_cycles = 0
+        self.transactions = 0
+
+    def request_latency(self, core: int, line_addr: int, now: int = 0) -> int:
+        wait = max(0, self.busy_until - now)
+        self.busy_until = max(now, self.busy_until) + self.occupancy
+        self.queued_cycles += wait
+        self.transactions += 1
+        return wait + self.latency
+
+
+class MeshInterconnect(Interconnect):
+    """A 2D mesh of tiles with a banked shared L2.
+
+    The home bank of a line is ``line_addr % n_cores``; request latency is
+    ``2 × hops × hop_latency`` (request + reply).
+    """
+
+    def __init__(self, n_cores: int, hop_latency: int):
+        if hop_latency < 0:
+            raise ValueError(f"hop_latency must be >= 0, got {hop_latency}")
+        self.mesh = Mesh2D(n_cores)
+        self.hop_latency = hop_latency
+
+    def home_bank(self, line_addr: int) -> int:
+        """The tile holding this line's L2 bank."""
+        return line_addr % self.mesh.n_nodes
+
+    def request_latency(self, core: int, line_addr: int, now: int = 0) -> int:
+        hops = self.mesh.hop_distance(core, self.home_bank(line_addr))
+        return 2 * hops * self.hop_latency
+
+    def core_to_core_latency(self, src: int, dst: int) -> int:
+        return self.mesh.hop_distance(src, dst) * self.hop_latency
+
+
+def build_interconnect(config: MachineConfig) -> Interconnect:
+    """Instantiate the interconnect the config names."""
+    if config.interconnect == "bus":
+        if config.bus_occupancy > 0:
+            return ContendedBus(config.bus_latency, config.bus_occupancy)
+        return BusInterconnect(config.bus_latency)
+    return MeshInterconnect(config.n_cores, config.mesh_hop_latency)

@@ -1,0 +1,337 @@
+"""The simulated CMP: a discrete-event scheduler over thread traces.
+
+The machine advances the runnable thread with the smallest local clock one
+operation at a time — a conservative discrete-event simulation that yields a
+single global order consistent with every thread's program order, so MESI
+state transitions happen in a well-defined sequence.
+
+Synchronisation semantics:
+
+* **barriers** block each arriving thread; when the last thread arrives the
+  whole group resumes at ``max(arrival clocks) + barrier_release_latency``,
+  with each thread's idle gap attributed to its current phase as wait time;
+* **locks** are FIFO: a releasing thread hands the lock to the earliest
+  waiter, which pays the acquire latency after its wait.
+
+Deadlocks (a barrier some thread never reaches, a lock never released) are
+detected and raised rather than hanging the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Iterator
+
+from repro.simx.coherence import CoherenceController, CoherenceStats
+from repro.simx.config import MachineConfig
+from repro.simx.core_model import CoreModel
+from repro.simx.stats import PhaseStats
+from repro.simx.trace import (
+    Barrier,
+    Compute,
+    Load,
+    Lock,
+    Op,
+    PhaseBegin,
+    PhaseEnd,
+    Store,
+    TraceProgram,
+    Unlock,
+)
+
+__all__ = ["Machine", "SimulationResult", "DeadlockError", "TraceError"]
+
+
+class DeadlockError(RuntimeError):
+    """No thread can make progress (mismatched barriers or stuck locks)."""
+
+
+class TraceError(ValueError):
+    """A malformed trace: unbalanced phases, unlocking an unheld lock, ..."""
+
+
+class _State(Enum):
+    RUNNABLE = "runnable"
+    AT_BARRIER = "barrier"
+    WAIT_LOCK = "lock"
+    DONE = "done"
+
+
+@dataclass
+class _ThreadCtx:
+    """Scheduler bookkeeping for one thread."""
+
+    tid: int
+    ops: Iterator[Op]
+    clock: int = 0
+    state: _State = _State.RUNNABLE
+    phase_stack: list[str] = field(default_factory=list)
+    held_locks: set[int] = field(default_factory=set)
+    barrier_id: "int | None" = None
+
+    def current_phase(self) -> str:
+        return self.phase_stack[-1] if self.phase_stack else "(unattributed)"
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced: timing, phase split, protocol counters."""
+
+    program_name: str
+    n_threads: int
+    n_cores: int
+    total_cycles: int
+    thread_cycles: tuple[int, ...]
+    phase_stats: PhaseStats
+    coherence: CoherenceStats
+    instructions: tuple[int, ...]
+    coherence_by_phase: "dict[str, CoherenceStats]" = field(default_factory=dict)
+
+    def phase_cycles(self, phase: str, thread_id: "int | None" = None) -> int:
+        """Busy cycles attributed to a phase (see :class:`PhaseStats`)."""
+        return self.phase_stats.busy_cycles(phase, thread_id)
+
+    def phase_wall_cycles(self, phase: str) -> int:
+        """Wall-clock extent of a phase."""
+        return self.phase_stats.span_cycles(phase)
+
+    def phase_coherence(self, phase: str) -> CoherenceStats:
+        """Protocol events attributed to one phase (zeros if none)."""
+        return self.coherence_by_phase.get(phase, CoherenceStats())
+
+    def summary(self) -> str:
+        """Human-readable run summary: timing, phases, protocol events."""
+        from repro.util.tables import TextTable
+
+        parts = [
+            f"program {self.program_name}: {self.n_threads} threads on "
+            f"{self.n_cores} cores, {self.total_cycles:,} cycles"
+        ]
+        phases = self.phase_stats.phases()
+        if phases:
+            t = TextTable(
+                title="phases",
+                columns=["phase", "busy cycles", "wait cycles", "wall span"],
+            )
+            for ph in phases:
+                t.add_row([
+                    ph,
+                    self.phase_stats.busy_cycles(ph),
+                    self.phase_stats.wait_cycles(ph),
+                    self.phase_stats.span_cycles(ph),
+                ])
+            parts.append(t.render())
+        c = self.coherence
+        t2 = TextTable(title="coherence", columns=["event", "count"])
+        for name in ("reads", "writes", "l1_hits", "l1_misses", "l2_hits",
+                     "memory_fetches", "cache_to_cache", "invalidations",
+                     "upgrades", "writebacks"):
+            t2.add_row([name, getattr(c, name)])
+        parts.append(t2.render())
+        return "\n\n".join(parts)
+
+
+class Machine:
+    """A configured CMP ready to run trace programs.
+
+    Each :meth:`run` uses a fresh cache/coherence state (cold caches), like
+    a fresh simulator process per benchmark run.
+    """
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+
+    def run(
+        self, program: TraceProgram, max_cycles: "int | None" = None
+    ) -> SimulationResult:
+        """Execute a program and return its timing breakdown.
+
+        Parameters
+        ----------
+        program:
+            The trace program to execute.
+        max_cycles:
+            Optional watchdog: abort with :class:`RuntimeError` once any
+            thread's clock passes this bound (protects batch sweeps from
+            accidentally huge traces).
+
+        Raises
+        ------
+        ValueError
+            If the program has more threads than the machine has cores
+            (simx does not time-multiplex threads; the paper's runs are
+            one-thread-per-core).
+        DeadlockError
+            If the threads stop making progress.
+        TraceError
+            If a trace is malformed.
+        RuntimeError
+            If ``max_cycles`` is exceeded.
+        """
+        if program.n_threads > self.config.n_cores:
+            raise ValueError(
+                f"program has {program.n_threads} threads but machine has "
+                f"{self.config.n_cores} cores (one thread per core)"
+            )
+
+        coherence = CoherenceController(self.config)
+        cores = [
+            CoreModel(
+                i, self.config.core, coherence,
+                perf_factor=self.config.perf_factor(i),
+            )
+            for i in range(program.n_threads)
+        ]
+        threads = [
+            _ThreadCtx(tid=t.thread_id, ops=iter(t)) for t in program.threads
+        ]
+        stats = PhaseStats()
+        barrier_arrivals: dict[int, dict[int, int]] = {}
+        lock_holder: dict[int, int] = {}
+        lock_waiters: dict[int, list[int]] = {}
+        phase_coherence: dict[str, CoherenceStats] = {}
+
+        def charge_coherence(phase: str, before: CoherenceStats) -> None:
+            """Attribute the protocol events of one memory op to a phase."""
+            bucket = phase_coherence.setdefault(phase, CoherenceStats())
+            after = coherence.stats
+            for field_name in (
+                "reads", "writes", "l1_hits", "l1_misses", "l2_hits",
+                "memory_fetches", "cache_to_cache", "invalidations",
+                "upgrades", "writebacks",
+            ):
+                delta = getattr(after, field_name) - getattr(before, field_name)
+                if delta:
+                    setattr(bucket, field_name, getattr(bucket, field_name) + delta)
+
+        def release_barrier(bid: int) -> None:
+            arrivals = barrier_arrivals.pop(bid)
+            release = max(arrivals.values()) + self.config.barrier_release_latency
+            for tid, arrived_at in arrivals.items():
+                ctx = threads[tid]
+                stats.add_wait(ctx.current_phase(), tid, release - arrived_at)
+                ctx.clock = release
+                ctx.state = _State.RUNNABLE
+                ctx.barrier_id = None
+
+        def step(ctx: _ThreadCtx) -> None:
+            try:
+                op = next(ctx.ops)
+            except StopIteration:
+                if ctx.held_locks:
+                    raise TraceError(
+                        f"thread {ctx.tid} finished holding locks {sorted(ctx.held_locks)}"
+                    ) from None
+                if ctx.phase_stack:
+                    raise TraceError(
+                        f"thread {ctx.tid} finished inside phases {ctx.phase_stack}"
+                    ) from None
+                ctx.state = _State.DONE
+                return
+
+            if isinstance(op, Compute):
+                cycles = cores[ctx.tid].compute_cycles(op.instructions)
+                stats.add_busy(ctx.current_phase(), ctx.tid, cycles)
+                ctx.clock += cycles
+            elif isinstance(op, Load):
+                snapshot = replace(coherence.stats)
+                cycles = cores[ctx.tid].load_cycles(op.addr, ctx.clock)
+                charge_coherence(ctx.current_phase(), snapshot)
+                stats.add_busy(ctx.current_phase(), ctx.tid, cycles)
+                ctx.clock += cycles
+            elif isinstance(op, Store):
+                snapshot = replace(coherence.stats)
+                cycles = cores[ctx.tid].store_cycles(op.addr, ctx.clock)
+                charge_coherence(ctx.current_phase(), snapshot)
+                stats.add_busy(ctx.current_phase(), ctx.tid, cycles)
+                ctx.clock += cycles
+            elif isinstance(op, PhaseBegin):
+                ctx.phase_stack.append(op.phase)
+                stats.note_begin(op.phase, ctx.clock)
+            elif isinstance(op, PhaseEnd):
+                if not ctx.phase_stack or ctx.phase_stack[-1] != op.phase:
+                    raise TraceError(
+                        f"thread {ctx.tid}: PhaseEnd({op.phase!r}) does not match "
+                        f"open phases {ctx.phase_stack}"
+                    )
+                ctx.phase_stack.pop()
+                stats.note_end(op.phase, ctx.clock)
+            elif isinstance(op, Barrier):
+                arrivals = barrier_arrivals.setdefault(op.barrier_id, {})
+                if ctx.tid in arrivals:
+                    raise TraceError(
+                        f"thread {ctx.tid} hit barrier {op.barrier_id} twice "
+                        "before release"
+                    )
+                arrivals[ctx.tid] = ctx.clock
+                ctx.state = _State.AT_BARRIER
+                ctx.barrier_id = op.barrier_id
+                if len(arrivals) == program.n_threads:
+                    release_barrier(op.barrier_id)
+            elif isinstance(op, Lock):
+                if op.lock_id not in lock_holder:
+                    lock_holder[op.lock_id] = ctx.tid
+                    ctx.held_locks.add(op.lock_id)
+                    cycles = self.config.lock_acquire_latency
+                    stats.add_busy(ctx.current_phase(), ctx.tid, cycles)
+                    ctx.clock += cycles
+                else:
+                    lock_waiters.setdefault(op.lock_id, []).append(ctx.tid)
+                    ctx.state = _State.WAIT_LOCK
+            elif isinstance(op, Unlock):
+                if lock_holder.get(op.lock_id) != ctx.tid:
+                    raise TraceError(
+                        f"thread {ctx.tid} unlocked lock {op.lock_id} it does not hold"
+                    )
+                del lock_holder[op.lock_id]
+                ctx.held_locks.discard(op.lock_id)
+                waiters = lock_waiters.get(op.lock_id)
+                if waiters:
+                    next_tid = waiters.pop(0)
+                    w = threads[next_tid]
+                    wait = max(w.clock, ctx.clock) - w.clock
+                    stats.add_wait(w.current_phase(), next_tid, wait)
+                    w.clock = max(w.clock, ctx.clock)
+                    lock_holder[op.lock_id] = next_tid
+                    w.held_locks.add(op.lock_id)
+                    cycles = self.config.lock_acquire_latency
+                    stats.add_busy(w.current_phase(), next_tid, cycles)
+                    w.clock += cycles
+                    w.state = _State.RUNNABLE
+            else:  # pragma: no cover - exhaustive over Op
+                raise TraceError(f"unknown op {op!r}")
+
+        # main scheduling loop: always advance the earliest runnable thread
+        while True:
+            runnable = [t for t in threads if t.state is _State.RUNNABLE]
+            if not runnable:
+                if all(t.state is _State.DONE for t in threads):
+                    break
+                stuck = {
+                    t.tid: t.state.value for t in threads if t.state is not _State.DONE
+                }
+                raise DeadlockError(
+                    f"no runnable threads; blocked: {stuck} "
+                    f"(pending barriers: {list(barrier_arrivals)}, "
+                    f"held locks: {lock_holder})"
+                )
+            nxt = min(runnable, key=lambda t: t.clock)
+            if max_cycles is not None and nxt.clock > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded max_cycles={max_cycles:,} "
+                    f"(thread {nxt.tid} at {nxt.clock:,})"
+                )
+            step(nxt)
+
+        return SimulationResult(
+            program_name=program.name,
+            n_threads=program.n_threads,
+            n_cores=self.config.n_cores,
+            total_cycles=max(t.clock for t in threads),
+            thread_cycles=tuple(t.clock for t in threads),
+            phase_stats=stats,
+            coherence=coherence.stats,
+            instructions=tuple(c.instructions_retired for c in cores),
+            coherence_by_phase=phase_coherence,
+        )

@@ -1,0 +1,80 @@
+"""Per-phase cycle accounting (the simulator's instrumentation).
+
+Workload traces bracket regions with :class:`~repro.simx.trace.PhaseBegin`
+and :class:`~repro.simx.trace.PhaseEnd`; every cycle a thread spends inside
+the bracket is attributed to that phase, split into *busy* cycles (executing
+operations) and *wait* cycles (blocked at barriers or locks).  This mirrors
+how the paper times "the individual sections of the application" in SESC.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["PhaseStats"]
+
+
+@dataclass
+class PhaseStats:
+    """Cycle totals per phase, per thread.
+
+    ``busy[phase][tid]`` — cycles executing operations inside the phase;
+    ``wait[phase][tid]`` — cycles blocked inside the phase;
+    ``spans[phase]`` — (earliest begin, latest end) wall-clock bounds.
+    """
+
+    busy: dict[str, dict[int, int]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(int))
+    )
+    wait: dict[str, dict[int, int]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(int))
+    )
+    spans: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    # ── recording ─────────────────────────────────────────────────────────
+    def add_busy(self, phase: str, thread_id: int, cycles: int) -> None:
+        if cycles:
+            self.busy[phase][thread_id] += cycles
+
+    def add_wait(self, phase: str, thread_id: int, cycles: int) -> None:
+        if cycles:
+            self.wait[phase][thread_id] += cycles
+
+    def note_begin(self, phase: str, clock: int) -> None:
+        lo, hi = self.spans.get(phase, (clock, clock))
+        self.spans[phase] = (min(lo, clock), max(hi, clock))
+
+    def note_end(self, phase: str, clock: int) -> None:
+        lo, hi = self.spans.get(phase, (clock, clock))
+        self.spans[phase] = (min(lo, clock), max(hi, clock))
+
+    # ── queries ───────────────────────────────────────────────────────────
+    def phases(self) -> list[str]:
+        """All phases seen, sorted."""
+        return sorted(set(self.busy) | set(self.wait) | set(self.spans))
+
+    def busy_cycles(self, phase: str, thread_id: "int | None" = None) -> int:
+        """Busy cycles in a phase — one thread's, or summed over threads."""
+        per_thread = self.busy.get(phase, {})
+        if thread_id is not None:
+            return per_thread.get(thread_id, 0)
+        return sum(per_thread.values())
+
+    def wait_cycles(self, phase: str, thread_id: "int | None" = None) -> int:
+        """Wait cycles in a phase — one thread's, or summed over threads."""
+        per_thread = self.wait.get(phase, {})
+        if thread_id is not None:
+            return per_thread.get(thread_id, 0)
+        return sum(per_thread.values())
+
+    def span_cycles(self, phase: str) -> int:
+        """Wall-clock extent of the phase (latest end − earliest begin)."""
+        if phase not in self.spans:
+            return 0
+        lo, hi = self.spans[phase]
+        return hi - lo
+
+    def merge_thread_busy(self, phase: str) -> dict[int, int]:
+        """Copy of the per-thread busy map for a phase."""
+        return dict(self.busy.get(phase, {}))

@@ -1,0 +1,26 @@
+"""Minimal logging setup shared by the CLI and experiment drivers."""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "configure"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return the package logger or a child of it."""
+    if name is None:
+        return logging.getLogger(_ROOT_NAME)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure(verbose: bool = False) -> None:
+    """Attach a stderr handler to the package logger (idempotent)."""
+    logger = get_logger()
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(name)s %(levelname)s: %(message)s"))
+        logger.addHandler(handler)
+    logger.setLevel(logging.DEBUG if verbose else logging.INFO)

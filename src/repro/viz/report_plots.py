@@ -1,0 +1,57 @@
+"""Chart rendering for experiment reports.
+
+Turns an :class:`~repro.experiments.report.ExperimentReport`'s series
+tables into terminal line charts: any table whose first column is numeric
+(the x axis) and whose remaining columns are numeric series gets charted.
+"""
+
+from __future__ import annotations
+
+from repro.viz.ascii_charts import line_chart
+
+__all__ = ["chartable_tables", "render_report_charts"]
+
+
+def _as_float(cell: str) -> "float | None":
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def chartable_tables(report) -> list:
+    """Tables in the report that look like figure series (numeric x +
+    at least one numeric series over >= 3 points)."""
+    out = []
+    for t in report.tables:
+        if len(t.columns) < 2 or len(t.rows) < 3:
+            continue
+        xs = [_as_float(row[0]) for row in t.rows]
+        if any(v is None for v in xs):
+            continue
+        numeric_cols = []
+        for c in range(1, len(t.columns)):
+            vals = [_as_float(row[c]) for row in t.rows]
+            if all(v is not None for v in vals):
+                numeric_cols.append(c)
+        if numeric_cols:
+            out.append(t)
+    return out
+
+
+def render_report_charts(report, width: int = 64, height: int = 14) -> str:
+    """Render every chartable table in the report as an ASCII line chart."""
+    charts = []
+    for t in chartable_tables(report):
+        xs = [float(row[0]) for row in t.rows]
+        series = {}
+        for c in range(1, len(t.columns)):
+            vals = [_as_float(row[c]) for row in t.rows]
+            if all(v is not None for v in vals):
+                series[t.columns[c]] = [float(v) for v in vals]
+        logx = all(v > 0 for v in xs) and max(xs) / max(min(xs), 1e-12) >= 16
+        charts.append(
+            line_chart(xs, series, width=width, height=height,
+                       title=t.title, logx=logx)
+        )
+    return "\n\n".join(charts)

@@ -1,0 +1,69 @@
+"""MineBench-style clustering workloads with instrumented phase structure.
+
+The paper studies the three multithreaded clustering benchmarks of
+MineBench — **kmeans**, **fuzzy** (fuzzy c-means) and **hop** — because they
+have tiny serial sections and a per-iteration *merging phase* that
+accumulates per-thread partial results.  This package re-implements them
+from scratch with the same parallel structure:
+
+* the point/particle work is partitioned across threads (parallel phase);
+* each thread accumulates privatised partial results;
+* a merging (reduction) phase combines one partial per thread — the
+  inherently serial component whose cost grows with the thread count;
+* a small constant serial phase updates global state and checks
+  convergence.
+
+Each workload runs numerically (numpy) *and* emits a deterministic
+per-phase work accounting (instruction and memory-access counts), from
+which :mod:`repro.workloads.tracegen` builds simulator traces and
+:mod:`repro.hardware` builds modelled wall-clock times.
+"""
+
+from repro.workloads.base import (
+    PHASE_INIT,
+    PHASE_PARALLEL,
+    PHASE_REDUCTION,
+    PHASE_SERIAL,
+    PhaseWork,
+    WorkloadExecution,
+)
+from repro.workloads.datasets import (
+    ClusteringDataset,
+    ParticleDataset,
+    TABLE4_DATASETS,
+    make_blobs,
+    make_particles,
+)
+from repro.workloads.fuzzy import FuzzyCMeansWorkload
+from repro.workloads.histogram import HistogramWorkload
+from repro.workloads.hop import HopWorkload
+from repro.workloads.instrument import PhaseBreakdown, extract_parameters
+from repro.workloads.kmeans import KMeansWorkload
+from repro.workloads.reduction import (
+    parallel_reduce,
+    serial_reduce,
+    tree_reduce,
+)
+
+__all__ = [
+    "PHASE_INIT",
+    "PHASE_PARALLEL",
+    "PHASE_REDUCTION",
+    "PHASE_SERIAL",
+    "PhaseWork",
+    "WorkloadExecution",
+    "ClusteringDataset",
+    "ParticleDataset",
+    "TABLE4_DATASETS",
+    "make_blobs",
+    "make_particles",
+    "KMeansWorkload",
+    "FuzzyCMeansWorkload",
+    "HopWorkload",
+    "HistogramWorkload",
+    "serial_reduce",
+    "tree_reduce",
+    "parallel_reduce",
+    "PhaseBreakdown",
+    "extract_parameters",
+]

@@ -1,0 +1,188 @@
+"""Synthetic dataset generators (the MineBench data-file substitute).
+
+MineBench ships binary data files; we generate statistically equivalent
+synthetic data with the exact attribute counts of Table IV:
+
+==============  =======  ====  ====
+label           N        D     C
+==============  =======  ====  ====
+kmeans-base      17695     9     8
+kmeans-dim       17695    18     8
+kmeans-point     35390    18     8
+kmeans-center    17695    18    32
+fuzzy-*          (same grid)
+hop-default      61440 particles (3-D positions)
+hop-med         491520 particles
+==============  =======  ====  ====
+
+Clustering inputs are Gaussian mixtures (so the algorithms genuinely
+converge); HOP inputs are particle positions with density concentrations
+(halo-like clumps).  Everything is seeded and reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "ClusteringDataset",
+    "ParticleDataset",
+    "make_blobs",
+    "make_particles",
+    "TABLE4_DATASETS",
+    "load_dataset",
+]
+
+
+@dataclass(frozen=True)
+class ClusteringDataset:
+    """Points for kmeans / fuzzy c-means.
+
+    Attributes
+    ----------
+    label:
+        Table IV-style label.
+    points:
+        float64 array of shape (N, D).
+    n_centers:
+        The cluster-count parameter handed to the algorithm (Table IV's C).
+    true_centers:
+        The mixture means the points were drawn from (for quality checks).
+    """
+
+    label: str
+    points: np.ndarray
+    n_centers: int
+    true_centers: np.ndarray
+
+    @property
+    def n_points(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def n_dims(self) -> int:
+        return self.points.shape[1]
+
+    def scaled_to(self, n_points: int, label: "str | None" = None) -> "ClusteringDataset":
+        """A smaller/larger dataset with the same structure (resampled)."""
+        rng = np.random.default_rng(abs(hash((self.label, n_points))) % 2**32)
+        idx = rng.integers(0, self.n_points, size=n_points)
+        jitter = rng.normal(scale=1e-3, size=(n_points, self.n_dims))
+        return ClusteringDataset(
+            label=label or f"{self.label}@{n_points}",
+            points=self.points[idx] + jitter,
+            n_centers=self.n_centers,
+            true_centers=self.true_centers,
+        )
+
+
+@dataclass(frozen=True)
+class ParticleDataset:
+    """Particle positions (and masses) for HOP density-based clustering."""
+
+    label: str
+    positions: np.ndarray  # (N, 3)
+    masses: np.ndarray     # (N,)
+    n_groups_hint: int
+
+    @property
+    def n_particles(self) -> int:
+        return self.positions.shape[0]
+
+
+def make_blobs(
+    n_points: int,
+    n_dims: int,
+    n_centers: int,
+    seed: int = 0,
+    spread: float = 0.08,
+    label: str = "blobs",
+) -> ClusteringDataset:
+    """A Gaussian mixture in the unit hypercube.
+
+    Centers are placed uniformly at random; each point belongs to a random
+    component with isotropic Gaussian noise of standard deviation
+    ``spread``.
+    """
+    check_positive_int(n_points, "n_points")
+    check_positive_int(n_dims, "n_dims")
+    check_positive_int(n_centers, "n_centers")
+    if n_centers > n_points:
+        raise ValueError(f"n_centers {n_centers} exceeds n_points {n_points}")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.1, 0.9, size=(n_centers, n_dims))
+    assignment = rng.integers(0, n_centers, size=n_points)
+    noise = rng.normal(scale=spread, size=(n_points, n_dims))
+    points = centers[assignment] + noise
+    return ClusteringDataset(
+        label=label, points=points, n_centers=n_centers, true_centers=centers
+    )
+
+
+def make_particles(
+    n_particles: int,
+    n_halos: int = 8,
+    seed: int = 0,
+    background_fraction: float = 0.3,
+    label: str = "particles",
+) -> ParticleDataset:
+    """Halo-like particle positions in the unit cube for HOP.
+
+    A fraction of particles forms dense clumps (Gaussian halos of varying
+    size), the rest is a uniform background — giving HOP genuine density
+    maxima to find.
+    """
+    check_positive_int(n_particles, "n_particles")
+    check_positive_int(n_halos, "n_halos")
+    if not (0.0 <= background_fraction < 1.0):
+        raise ValueError(
+            f"background_fraction must be in [0, 1), got {background_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    n_background = int(n_particles * background_fraction)
+    n_clustered = n_particles - n_background
+    halo_centers = rng.uniform(0.15, 0.85, size=(n_halos, 3))
+    halo_sizes = rng.uniform(0.01, 0.04, size=n_halos)
+    halo_of = rng.integers(0, n_halos, size=n_clustered)
+    clustered = halo_centers[halo_of] + rng.normal(
+        scale=halo_sizes[halo_of][:, None], size=(n_clustered, 3)
+    )
+    background = rng.uniform(0.0, 1.0, size=(n_background, 3))
+    positions = np.clip(np.vstack([clustered, background]), 0.0, 1.0)
+    masses = rng.uniform(0.5, 1.5, size=n_particles)
+    return ParticleDataset(
+        label=label, positions=positions, masses=masses, n_groups_hint=n_halos
+    )
+
+
+def _table4_builders() -> Mapping[str, "callable"]:
+    return {
+        # kmeans / fuzzy share the attribute grid of Table IV
+        "kmeans-base":   lambda: make_blobs(17695, 9, 8, seed=11, label="kmeans-base"),
+        "kmeans-dim":    lambda: make_blobs(17695, 18, 8, seed=12, label="kmeans-dim"),
+        "kmeans-point":  lambda: make_blobs(35390, 18, 8, seed=13, label="kmeans-point"),
+        "kmeans-center": lambda: make_blobs(17695, 18, 32, seed=14, label="kmeans-center"),
+        "fuzzy-base":    lambda: make_blobs(17695, 9, 8, seed=21, label="fuzzy-base"),
+        "fuzzy-dim":     lambda: make_blobs(17695, 18, 8, seed=22, label="fuzzy-dim"),
+        "fuzzy-point":   lambda: make_blobs(35390, 18, 8, seed=23, label="fuzzy-point"),
+        "fuzzy-center":  lambda: make_blobs(17695, 18, 32, seed=24, label="fuzzy-center"),
+        "hop-default":   lambda: make_particles(61440, n_halos=64, seed=31, label="hop-default"),
+        "hop-med":       lambda: make_particles(491520, n_halos=128, seed=32, label="hop-med"),
+    }
+
+
+#: Lazily-built Table IV datasets keyed by label.
+TABLE4_DATASETS = tuple(_table4_builders().keys())
+
+
+def load_dataset(label: str):
+    """Build the named Table IV dataset (generated on demand, seeded)."""
+    builders = _table4_builders()
+    if label not in builders:
+        raise ValueError(f"unknown dataset {label!r}; expected one of {sorted(builders)}")
+    return builders[label]()

@@ -1,0 +1,150 @@
+"""Parallel histogram: the canonical partial-write reduction.
+
+Jin, Yang & Agrawal [TKDE 2005], which the paper's Related Work leans on,
+establish that privatised partial-write reductions "are common across many
+categories of data mining applications" beyond clustering.  The histogram
+is that pattern at its purest: per-item work is a single bin update, so the
+merging phase (one ``n_bins`` array per thread) dominates the serial time
+far more than in kmeans — a stress case for the extended model at the
+opposite end of the fored spectrum from the clustering workloads.
+
+Structure per the common template: init (allocate/zero bins), parallel
+(each thread bins its slice into a private array), reduction (combine one
+partial per thread via the configured strategy), serial (normalise, find
+the mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+from repro.workloads.base import (
+    PHASE_INIT,
+    PHASE_PARALLEL,
+    PHASE_REDUCTION,
+    PHASE_SERIAL,
+    ClusteringWorkloadBase,
+    PhaseWork,
+    WorkloadExecution,
+)
+from repro.workloads.reduction import resolve_strategy
+
+__all__ = ["HistogramWorkload"]
+
+_BIN_INSTR = 6        # hash/scale + bounds check + increment per item
+_COMBINE_INSTR = 2
+_NORMALISE_INSTR = 2
+
+
+@dataclass
+class HistogramWorkload(ClusteringWorkloadBase):
+    """Histogram over synthetic data.
+
+    Parameters
+    ----------
+    n_items:
+        Input size (values drawn from a seeded mixture so the histogram
+        has structure worth checking).
+    n_bins:
+        Histogram resolution — this is the reduction size x, so it directly
+        dials the merging overhead.
+    seed:
+        Data seed.
+    reduction_strategy:
+        'serial' | 'tree' | 'parallel'.
+    """
+
+    n_items: int = 100_000
+    n_bins: int = 1024
+    seed: int = 0
+    reduction_strategy: str = "serial"
+
+    name = "histogram"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_items, "n_items")
+        check_positive_int(self.n_bins, "n_bins")
+        resolve_strategy(self.reduction_strategy)
+
+    def _data(self) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        # mixture: uniform background + two Gaussian bumps
+        n_bump = self.n_items // 3
+        background = rng.integers(0, self.n_bins, size=self.n_items - 2 * n_bump)
+        bump1 = np.clip(
+            rng.normal(self.n_bins * 0.25, self.n_bins * 0.03, n_bump), 0, self.n_bins - 1
+        ).astype(np.int64)
+        bump2 = np.clip(
+            rng.normal(self.n_bins * 0.7, self.n_bins * 0.05, n_bump), 0, self.n_bins - 1
+        ).astype(np.int64)
+        return np.concatenate([background, bump1, bump2])
+
+    def execute(self, n_threads: int) -> WorkloadExecution:
+        """Run the histogram with ``n_threads`` logical threads."""
+        check_positive_int(n_threads, "n_threads")
+        if n_threads > self.n_items:
+            raise ValueError(f"more threads ({n_threads}) than items ({self.n_items})")
+        data = self._data()
+        reduce_fn = resolve_strategy(self.reduction_strategy)
+        ex = WorkloadExecution(
+            workload=self.name, n_threads=n_threads, n_iterations=1
+        )
+        master = lambda v: tuple(  # noqa: E731
+            int(v) if t == 0 else 0 for t in range(n_threads)
+        )
+
+        ex.add(PhaseWork(
+            phase=PHASE_INIT,
+            per_thread_instructions=master(self.n_bins + 40),
+            per_thread_reads=master(0),
+            per_thread_writes=master(self.n_bins),
+        ))
+
+        counts = self.per_thread_counts(self.n_items, n_threads)
+        slices = self.partition(self.n_items, n_threads)
+        partials = [
+            np.bincount(data[sl], minlength=self.n_bins).astype(np.float64)
+            for sl in slices
+        ]
+        ex.add(PhaseWork(
+            phase=PHASE_PARALLEL,
+            per_thread_instructions=tuple(int(c) * _BIN_INSTR for c in counts),
+            per_thread_reads=tuple(int(c) for c in counts),
+            per_thread_writes=tuple(int(c) for c in counts),
+        ))
+
+        total, cost = reduce_fn(partials)
+        red_instr = [cost.parallel_element_ops * _COMBINE_INSTR] * n_threads
+        red_reads = [cost.parallel_element_ops] * n_threads
+        if cost.serial_element_ops:
+            red_instr[0] = cost.serial_element_ops * _COMBINE_INSTR
+            red_reads[0] = cost.serial_element_ops
+        shared = [cost.messages // n_threads] * n_threads
+        if self.reduction_strategy == "serial":
+            shared = [0] * n_threads
+            shared[0] = cost.messages
+        ex.add(PhaseWork(
+            phase=PHASE_REDUCTION,
+            per_thread_instructions=tuple(red_instr),
+            per_thread_reads=tuple(red_reads),
+            per_thread_writes=master(self.n_bins),
+            shared_reads=tuple(shared),
+        ))
+
+        histogram = total.astype(np.int64)
+        mode_bin = int(np.argmax(histogram))
+        ex.add(PhaseWork(
+            phase=PHASE_SERIAL,
+            per_thread_instructions=master(self.n_bins * _NORMALISE_INSTR),
+            per_thread_reads=master(self.n_bins),
+            per_thread_writes=master(self.n_bins),
+        ))
+        ex.outputs = {
+            "histogram": histogram,
+            "mode_bin": mode_bin,
+            "density": histogram / self.n_items,
+        }
+        return ex

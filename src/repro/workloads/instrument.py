@@ -1,0 +1,203 @@
+"""Parameter extraction: from phase timings to Table II fractions.
+
+The paper's methodology (Section V.A):
+
+* the **serial fraction** is total single-core time in serial sections
+  (init + reduction + serial update) over total single-core time;
+* **fcon** is the serial-section share *excluding* reduction;
+* **fcred** is the single-core reduction time;
+* **fored** is "the relative increase in reduction operation time over
+  fcred when using multiple cores" — the slope of the reduction time as a
+  function of core count, normalised by fcred;
+* a superlinear exponent (hop) is detected by fitting
+  ``reduction(p) = fcred · (1 + fored · (p−1)^alpha)`` in log-log space.
+
+:class:`PhaseBreakdown` is the common currency: both the simulator
+(:func:`breakdown_from_simulation`) and the hardware executor produce it,
+so the same extractor validates both (Figs 2(b) and 2(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.params import MeasuredParams
+from repro.workloads.base import PHASE_INIT, PHASE_PARALLEL, PHASE_REDUCTION, PHASE_SERIAL
+
+__all__ = [
+    "PhaseBreakdown",
+    "breakdown_from_simulation",
+    "ExtractedParams",
+    "extract_parameters",
+    "serial_growth_curve",
+    "speedup_curve",
+]
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Measured time (cycles or seconds) per phase for one run.
+
+    Serial-phase entries are the master thread's busy time; ``parallel`` is
+    the wall-clock extent of the parallel sections; ``total`` the whole
+    run.
+    """
+
+    n_threads: int
+    total: float
+    init: float
+    parallel: float
+    reduction: float
+    serial: float
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {self.n_threads}")
+        for name in ("total", "init", "parallel", "reduction", "serial"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def serial_sections(self) -> float:
+        """Total time in serial sections (init + merge + update)."""
+        return self.init + self.reduction + self.serial
+
+    @property
+    def constant_serial(self) -> float:
+        """Serial time excluding the reduction (the fcon numerator)."""
+        return self.init + self.serial
+
+
+def breakdown_from_simulation(result) -> PhaseBreakdown:
+    """Build a :class:`PhaseBreakdown` from a
+    :class:`~repro.simx.machine.SimulationResult`.
+
+    Serial phases run on thread 0 (the master); their busy cycles are
+    thread 0's.  The parallel phase time is the per-thread maximum (the
+    wall-clock critical path between barriers).
+    """
+    stats = result.phase_stats
+    per_thread_parallel = stats.merge_thread_busy(PHASE_PARALLEL)
+    parallel_wall = max(per_thread_parallel.values(), default=0)
+    return PhaseBreakdown(
+        n_threads=result.n_threads,
+        total=float(result.total_cycles),
+        init=float(stats.busy_cycles(PHASE_INIT, 0)),
+        parallel=float(parallel_wall),
+        reduction=float(stats.busy_cycles(PHASE_REDUCTION, 0)),
+        serial=float(stats.busy_cycles(PHASE_SERIAL, 0)),
+    )
+
+
+@dataclass(frozen=True)
+class ExtractedParams:
+    """Table II-style parameters recovered from measurements."""
+
+    name: str
+    serial_pct: float
+    fcon_share: float
+    fred_share: float
+    fored_rel: float
+    growth_alpha: float
+
+    def to_measured_params(self, critical_pct: float = 0.0) -> MeasuredParams:
+        """Convert to the model-layer record (critical sections excluded
+        from the analysis, as in the paper)."""
+        return MeasuredParams(
+            name=self.name,
+            serial_pct=self.serial_pct,
+            critical_pct=critical_pct,
+            fored_rel=self.fored_rel,
+            fred_share=self.fred_share,
+            fcon_share=self.fcon_share,
+            growth_alpha=self.growth_alpha,
+        )
+
+
+def extract_parameters(
+    breakdowns: Mapping[int, PhaseBreakdown], name: str = "app"
+) -> ExtractedParams:
+    """Recover (f, fcon, fcred, fored, alpha) from per-core-count timings.
+
+    Requires the single-core breakdown plus at least one multi-core point;
+    more points sharpen the growth fit.
+    """
+    if 1 not in breakdowns:
+        raise ValueError("need the single-core (n_threads=1) breakdown")
+    multi = sorted(p for p in breakdowns if p > 1)
+    if not multi:
+        raise ValueError("need at least one multi-core breakdown to fit growth")
+    base = breakdowns[1]
+    if base.total <= 0:
+        raise ValueError("single-core total time must be positive")
+    serial_1 = base.serial_sections
+    if serial_1 <= 0:
+        raise ValueError("single-core serial time must be positive")
+
+    serial_pct = 100.0 * serial_1 / base.total
+    fcon_share = base.constant_serial / serial_1
+    fred_share = base.reduction / serial_1
+
+    fcred = base.reduction
+    if fcred <= 0:
+        # no reduction at all: degenerate but legal (pure Amdahl app)
+        return ExtractedParams(
+            name=name, serial_pct=serial_pct, fcon_share=1.0,
+            fred_share=0.0, fored_rel=0.0, growth_alpha=1.0,
+        )
+
+    # relative growth points: g(p) = (reduction(p) - fcred) / fcred
+    ps = np.array(multi, dtype=np.float64)
+    growth = np.array(
+        [(breakdowns[p].reduction - fcred) / fcred for p in multi], dtype=np.float64
+    )
+    growth = np.maximum(growth, 0.0)
+    positive = growth > 0
+    if not positive.any():
+        return ExtractedParams(
+            name=name, serial_pct=serial_pct, fcon_share=fcon_share,
+            fred_share=fred_share, fored_rel=0.0, growth_alpha=1.0,
+        )
+    # fit g(p) = fored · (p−1)^alpha in log space
+    log_pm1 = np.log(ps[positive] - 1.0 + 1e-12)
+    log_g = np.log(growth[positive])
+    if positive.sum() >= 2 and np.ptp(log_pm1) > 1e-9:
+        alpha, log_fored = np.polyfit(log_pm1, log_g, 1)
+        fored = float(np.exp(log_fored))
+        alpha = float(alpha)
+    else:
+        p0 = float(ps[positive][0])
+        fored = float(growth[positive][0] / (p0 - 1.0))
+        alpha = 1.0
+    return ExtractedParams(
+        name=name,
+        serial_pct=serial_pct,
+        fcon_share=fcon_share,
+        fred_share=fred_share,
+        fored_rel=fored,
+        growth_alpha=alpha,
+    )
+
+
+def serial_growth_curve(breakdowns: Mapping[int, PhaseBreakdown]) -> dict[int, float]:
+    """Fig 2(b)/(c): serial-section time per core count, normalised to the
+    single-core serial-section time."""
+    if 1 not in breakdowns:
+        raise ValueError("need the single-core breakdown for normalisation")
+    base = breakdowns[1].serial_sections
+    if base <= 0:
+        raise ValueError("single-core serial time must be positive")
+    return {p: b.serial_sections / base for p, b in sorted(breakdowns.items())}
+
+
+def speedup_curve(breakdowns: Mapping[int, PhaseBreakdown]) -> dict[int, float]:
+    """Fig 2(a): speedup per core count relative to the single-core run."""
+    if 1 not in breakdowns:
+        raise ValueError("need the single-core breakdown for normalisation")
+    base = breakdowns[1].total
+    if base <= 0:
+        raise ValueError("single-core total time must be positive")
+    return {p: base / b.total for p, b in sorted(breakdowns.items())}

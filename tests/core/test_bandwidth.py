@@ -1,0 +1,82 @@
+"""Unit tests for the memory-bandwidth-wall extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import merging
+from repro.core.bandwidth import (
+    bandwidth_wall_cores,
+    best_symmetric_bw,
+    speedup_symmetric_bw,
+)
+from repro.core.params import AppParams
+
+
+def params(ored=0.8) -> AppParams:
+    return AppParams(f=0.99, fcon_share=0.60, fored_share=ored)
+
+
+class TestModel:
+    def test_zero_beta_recovers_merging_model(self):
+        sizes = merging.power_of_two_sizes(256)
+        ours = np.asarray(speedup_symmetric_bw(params(), 256, sizes, beta=0.0))
+        eq4 = np.asarray(merging.speedup_symmetric(params(), 256, sizes))
+        assert np.allclose(ours, eq4)
+
+    def test_wall_caps_speedup(self):
+        # once bandwidth-bound, speedup <= 1/(f·beta) regardless of design
+        beta = 0.01
+        sizes = merging.power_of_two_sizes(256)
+        sp = np.asarray(speedup_symmetric_bw(params(0.1), 256, sizes, beta))
+        assert np.all(sp <= 1.0 / (0.99 * beta) + 1e-9)
+
+    def test_wall_binds_small_cores_first(self):
+        # many small cores have the highest aggregate compute, so they hit
+        # the fixed bandwidth first: the loss vs beta=0 is largest at r=1
+        p = AppParams(f=0.999, fcon_share=0.6, fored_share=0.05)
+        # the compute bound's floor on a 256-BCE chip is 1/256; a wall at
+        # 1/150 binds the 256x1-BCE design but not the 4x64-BCE one
+        beta = 1.0 / 150
+        loss_r1 = (
+            float(merging.speedup_symmetric(p, 256, 1.0))
+            / float(speedup_symmetric_bw(p, 256, 1.0, beta))
+        )
+        loss_r64 = (
+            float(merging.speedup_symmetric(p, 256, 64.0))
+            / float(speedup_symmetric_bw(p, 256, 64.0, beta))
+        )
+        assert loss_r1 > loss_r64
+
+    def test_wall_shifts_optimum_to_bigger_cores(self):
+        p = AppParams(f=0.999, fcon_share=0.6, fored_share=0.05)
+        r_free, _ = best_symmetric_bw(p, 256, beta=0.0, growth="log")
+        r_walled, _ = best_symmetric_bw(p, 256, beta=1 / 150, growth="log")
+        assert r_walled >= r_free
+
+    def test_monotone_in_beta(self):
+        for r in (1.0, 8.0, 64.0):
+            sp = [
+                float(speedup_symmetric_bw(params(), 256, r, b))
+                for b in (0.0, 0.005, 0.02, 0.1)
+            ]
+            assert sp == sorted(sp, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup_symmetric_bw(params(), 256, 4.0, beta=-0.1)
+        with pytest.raises(ValueError):
+            speedup_symmetric_bw(params(), 256, 512.0, beta=0.1)
+
+
+class TestWallCores:
+    def test_closed_form(self):
+        # r=1, perf=1: nc* = 1/beta
+        assert bandwidth_wall_cores(256, 1.0, 0.01) == pytest.approx(100.0)
+
+    def test_bigger_cores_hit_wall_at_fewer_cores(self):
+        assert bandwidth_wall_cores(256, 16.0, 0.01) < bandwidth_wall_cores(
+            256, 1.0, 0.01
+        )
+
+    def test_infinite_without_wall(self):
+        assert bandwidth_wall_cores(256, 1.0, 0.0) == float("inf")

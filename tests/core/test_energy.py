@@ -1,0 +1,115 @@
+"""Unit tests for the energy extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import merging
+from repro.core.energy import (
+    DesignEnergy,
+    PowerModel,
+    best_symmetric_energy,
+    evaluate_symmetric,
+)
+from repro.core.params import AppParams
+
+
+def params() -> AppParams:
+    return AppParams(f=0.99, fcon_share=0.60, fored_share=0.80)
+
+
+class TestPowerModel:
+    def test_unit_core_unit_power(self):
+        pm = PowerModel()
+        assert pm.active(1.0) == pytest.approx(1.0)
+
+    def test_area_proportional_default(self):
+        pm = PowerModel()
+        assert pm.active(64.0) == pytest.approx(64.0)
+
+    def test_idle_fraction(self):
+        pm = PowerModel(idle_fraction=0.25)
+        assert pm.idle(4.0) == pytest.approx(1.0)
+
+    def test_superlinear_power(self):
+        pm = PowerModel(mu=1.5)
+        assert pm.active(4.0) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(mu=0.0)
+        with pytest.raises(ValueError):
+            PowerModel(idle_fraction=1.5)
+        with pytest.raises(ValueError):
+            PowerModel().active(-1.0)
+
+
+class TestEvaluate:
+    def test_speedup_matches_merging_model(self):
+        sizes = merging.power_of_two_sizes(256)
+        designs = evaluate_symmetric(params(), 256, sizes)
+        model = np.asarray(merging.speedup_symmetric(params(), 256, sizes))
+        assert np.allclose([d.speedup for d in designs], model)
+
+    def test_scalar_input_returns_single_design(self):
+        d = evaluate_symmetric(params(), 256, 4.0)
+        assert isinstance(d, DesignEnergy)
+        assert d.r == 4.0
+
+    def test_edp_consistent(self):
+        d = evaluate_symmetric(params(), 256, 8.0)
+        assert d.edp == pytest.approx(d.energy / d.speedup)
+
+    def test_perf_per_watt_is_inverse_average_power(self):
+        d = evaluate_symmetric(params(), 256, 8.0)
+        avg_power = d.energy * d.speedup  # energy / time
+        assert d.perf_per_watt == pytest.approx(d.speedup / avg_power)
+
+    def test_single_big_core_energy(self):
+        # one 256-BCE core: no idle cores; energy = time · active(256)
+        d = evaluate_symmetric(params(), 256, 256.0, PowerModel(idle_fraction=0.3))
+        time = 1.0 / d.speedup
+        assert d.energy == pytest.approx(time * 256.0)
+
+
+class TestBestDesign:
+    def test_objective_validation(self):
+        with pytest.raises(ValueError):
+            best_symmetric_energy(params(), 256, objective="happiness")
+
+    def test_speedup_objective_matches_merging_best(self):
+        d = best_symmetric_energy(params(), 256, objective="speedup")
+        best = merging.best_symmetric(params(), 256)
+        assert d.r == best.r
+        assert d.speedup == pytest.approx(best.speedup)
+
+    def test_edp_design_is_minimal(self):
+        d = best_symmetric_energy(params(), 256, objective="edp")
+        all_designs = evaluate_symmetric(
+            params(), 256, merging.power_of_two_sizes(256)
+        )
+        assert d.edp == pytest.approx(min(x.edp for x in all_designs))
+
+    def test_energy_optimum_is_interior(self):
+        # neither 256 singletons (long serial phases with 255 idling
+        # cores) nor one giant core (256 W always-on) is energy-optimal
+        pm = PowerModel(idle_fraction=0.5)
+        energy_best = best_symmetric_energy(params(), 256, "energy", pm)
+        assert 1.0 < energy_best.r < 256.0
+
+    def test_overhead_shifts_energy_optimum_to_bigger_cores(self):
+        # the paper's conclusion (b), restated for energy: growing merges
+        # lengthen the idle-heavy serial phases, penalising many-core
+        # designs on energy too
+        pm = PowerModel(idle_fraction=0.5)
+        lo = AppParams(f=0.999, fcon_share=0.60, fored_share=0.10)
+        hi = AppParams(f=0.999, fcon_share=0.60, fored_share=0.80)
+        best_lo = best_symmetric_energy(lo, 256, "edp", pm)
+        best_hi = best_symmetric_energy(hi, 256, "edp", pm)
+        assert best_hi.r >= best_lo.r
+
+    def test_high_overhead_raises_energy_cost_of_many_cores(self):
+        lo = AppParams(f=0.99, fcon_share=0.60, fored_share=0.10)
+        hi = AppParams(f=0.99, fcon_share=0.60, fored_share=0.80)
+        e_lo = evaluate_symmetric(lo, 256, 1.0).energy
+        e_hi = evaluate_symmetric(hi, 256, 1.0).energy
+        assert e_hi > e_lo  # longer serial phases burn idle power

@@ -1,0 +1,88 @@
+"""Unit tests for reduction growth functions grow(nc)."""
+
+import numpy as np
+import pytest
+
+from repro.core.growth import (
+    LINEAR,
+    LOG,
+    PARALLEL,
+    LinearGrowth,
+    LogGrowth,
+    PolynomialGrowth,
+    resolve_growth,
+)
+
+
+class TestLinearGrowth:
+    def test_identity_on_core_count(self):
+        assert LINEAR(64.0) == pytest.approx(64.0)
+        assert LINEAR(1.0) == pytest.approx(1.0)
+
+    def test_vectorised(self):
+        nc = np.array([1.0, 2.0, 256.0])
+        assert np.allclose(LINEAR(nc), nc)
+
+
+class TestLogGrowth:
+    def test_log2_of_core_count(self):
+        assert LOG(256.0) == pytest.approx(8.0)
+        assert LOG(64.0) == pytest.approx(6.0)
+
+    def test_single_core_charges_unit_reduction(self):
+        # grow(1) must be 1, not 0: the single-core run still performs the
+        # measured reduction once (the paper normalises fractions at 1 core).
+        assert LOG(1.0) == pytest.approx(1.0)
+
+    def test_floor_at_one_below_two_cores(self):
+        assert LOG(1.5) == pytest.approx(1.0)
+
+    def test_always_leq_linear(self):
+        nc = np.array([1.0, 2.0, 4.0, 64.0, 256.0])
+        assert np.all(LOG(nc) <= LINEAR(nc))
+
+
+class TestParallelGrowth:
+    def test_constant_one(self):
+        nc = np.array([1.0, 16.0, 256.0])
+        assert np.allclose(PARALLEL(nc), 1.0)
+
+
+class TestPolynomialGrowth:
+    def test_alpha_one_is_linear(self):
+        g = PolynomialGrowth(1.0)
+        nc = np.array([1.0, 7.0, 64.0])
+        assert np.allclose(g(nc), LinearGrowth()(nc))
+
+    def test_superlinear_hop_like(self):
+        g = PolynomialGrowth(1.25)
+        assert g(16.0) > 16.0  # grows faster than core count
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ValueError):
+            PolynomialGrowth(0.0)
+
+
+class TestValidationAndResolve:
+    def test_rejects_core_count_below_one(self):
+        with pytest.raises(ValueError):
+            LINEAR(0.5)
+
+    def test_default_is_linear(self):
+        assert resolve_growth(None).name == "Linear"
+
+    def test_named_lookup_case_insensitive(self):
+        assert resolve_growth("LOG").name == "Log"
+        assert resolve_growth("parallel").name == "Parallel"
+
+    def test_passthrough_instance(self):
+        g = LogGrowth()
+        assert resolve_growth(g) is g
+
+    def test_poly_spec(self):
+        g = resolve_growth("poly:1.5")
+        assert g(4.0) == pytest.approx(8.0)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            resolve_growth("exponential")

@@ -1,0 +1,110 @@
+"""Unit tests for the measured-form serial-growth model (Figs 2–3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import measured
+from repro.core.params import TABLE2, MeasuredParams
+
+
+class TestSerialTime:
+    def test_single_core_equals_measured_serial_fraction(self):
+        for app in TABLE2.values():
+            assert measured.serial_time(app, 1) == pytest.approx(app.s)
+
+    def test_grows_with_cores(self):
+        cores = np.arange(1, 17)
+        for app in TABLE2.values():
+            st = np.asarray(measured.serial_time(app, cores))
+            assert np.all(np.diff(st) > 0), app.name
+
+    def test_linear_apps_grow_linearly(self):
+        k = TABLE2["kmeans"]
+        st = np.asarray(measured.serial_time(k, np.array([1.0, 2.0, 3.0, 4.0])))
+        diffs = np.diff(st)
+        assert np.allclose(diffs, diffs[0])  # constant slope
+        assert diffs[0] == pytest.approx(k.fcred * k.fored_rel)
+
+    def test_hop_grows_superlinearly(self):
+        h = TABLE2["hop"]
+        st = np.asarray(measured.serial_time(h, np.array([2.0, 4.0, 8.0, 16.0])))
+        increments = np.diff(st)
+        assert np.all(np.diff(increments) > 0)  # accelerating growth
+
+    def test_rejects_core_count_below_one(self):
+        with pytest.raises(ValueError):
+            measured.serial_time(TABLE2["kmeans"], 0)
+
+
+class TestNormalisedSerialTime:
+    def test_unity_at_one_core(self):
+        for app in TABLE2.values():
+            assert measured.serial_time_normalised(app, 1) == pytest.approx(1.0)
+
+    def test_fig2b_significant_growth_at_16_cores(self):
+        # Fig 2(b): "serial section time ... grows significantly with the
+        # number of cores" — all apps well above the constant-model's 1.0.
+        for app in TABLE2.values():
+            assert measured.serial_time_normalised(app, 16) > 2.0, app.name
+
+    def test_growth_ordering_follows_reduction_share_times_slope(self):
+        # normalised slope is fred_share·fored_rel: kmeans (0.43·0.72=0.31)
+        # grows steeper than fuzzy (0.35·0.82=0.29) at moderate core counts.
+        n16 = {name: measured.serial_time_normalised(app, 16) for name, app in TABLE2.items()}
+        assert n16["kmeans"] > n16["fuzzy"]
+
+
+class TestSpeedupPredictions:
+    def test_amdahl_curve_matches_closed_form(self):
+        k = TABLE2["kmeans"]
+        assert measured.speedup_amdahl(k, 256) == pytest.approx(
+            1.0 / (k.s + k.f / 256)
+        )
+
+    def test_extended_below_amdahl_beyond_one_core(self):
+        cores = np.array([2.0, 16.0, 64.0, 256.0])
+        for app in TABLE2.values():
+            ext = np.asarray(measured.speedup_extended(app, cores))
+            amd = np.asarray(measured.speedup_amdahl(app, cores))
+            assert np.all(ext < amd), app.name
+
+    def test_equal_at_one_core(self):
+        for app in TABLE2.values():
+            assert measured.speedup_extended(app, 1) == pytest.approx(
+                measured.speedup_amdahl(app, 1)
+            )
+
+    def test_fig3_amdahl_scales_to_256_but_extended_tapers(self):
+        # "Under the assumption that serial sections are constant ... speedup
+        # linearly scales to at least 256 cores. However, by factoring in
+        # growth ... speedup tapers off at much lesser core count."
+        for app in TABLE2.values():
+            amd = measured.speedup_amdahl(app, np.array([128.0, 256.0]))
+            assert amd[1] > amd[0]  # Amdahl still rising at 256
+            p_star, _ = measured.peak_core_count(app, max_cores=2048)
+            assert p_star < 2048, app.name  # extended model peaks
+
+    def test_peak_closed_form_for_linear_growth(self):
+        # p* = sqrt(f / (fcred·fored_rel)) for alpha = 1
+        k = TABLE2["kmeans"]
+        p_star, _ = measured.peak_core_count(k, max_cores=8192)
+        analytic = np.sqrt(k.f / (k.fcred * k.fored_rel))
+        assert p_star == pytest.approx(analytic, rel=0.02)
+
+    def test_fig2a_near_linear_scaling_to_16_cores(self):
+        # Fig 2(a): kmeans and fuzzy "exhibit a speedup close to 16".
+        for name in ("kmeans", "fuzzy"):
+            sp16 = measured.speedup_extended(TABLE2[name], 16)
+            assert sp16 > 15.5, name
+
+
+class TestCustomParams:
+    def test_zero_growth_is_amdahl(self):
+        p = MeasuredParams(
+            name="flat", serial_pct=1.0, critical_pct=0.0,
+            fored_rel=0.0, fred_share=0.4, fcon_share=0.6,
+        )
+        cores = np.array([1.0, 8.0, 64.0])
+        assert np.allclose(
+            measured.speedup_extended(p, cores), measured.speedup_amdahl(p, cores)
+        )

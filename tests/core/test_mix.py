@@ -1,0 +1,78 @@
+"""Unit tests for workload-mix design optimisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import merging
+from repro.core.mix import WorkloadMix, best_symmetric_for_mix, mix_speedup
+from repro.core.params import AppParams
+
+
+def light() -> AppParams:
+    return AppParams(f=0.999, fcon_share=0.60, fored_share=0.10, name="light")
+
+
+def heavy() -> AppParams:
+    return AppParams(f=0.99, fcon_share=0.60, fored_share=0.80, name="heavy")
+
+
+class TestMixConstruction:
+    def test_uniform(self):
+        m = WorkloadMix.uniform([light(), heavy()])
+        assert np.allclose(m.normalised_weights, [0.5, 0.5])
+
+    def test_normalisation(self):
+        m = WorkloadMix(apps=(light(), heavy()), weights=(3.0, 1.0))
+        assert np.allclose(m.normalised_weights, [0.75, 0.25])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadMix(apps=(), weights=())
+        with pytest.raises(ValueError):
+            WorkloadMix(apps=(light(),), weights=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            WorkloadMix(apps=(light(),), weights=(0.0,))
+
+
+class TestMixSpeedup:
+    def test_single_app_mix_equals_app_speedup(self):
+        m = WorkloadMix.uniform([heavy()])
+        for r in (1.0, 8.0, 64.0):
+            assert mix_speedup(m, 256, r) == pytest.approx(
+                float(merging.speedup_symmetric(heavy(), 256, r))
+            )
+
+    def test_harmonic_mean_below_arithmetic(self):
+        m = WorkloadMix.uniform([light(), heavy()])
+        r = 8.0
+        sp_mix = mix_speedup(m, 256, r)
+        sp_l = float(merging.speedup_symmetric(light(), 256, r))
+        sp_h = float(merging.speedup_symmetric(heavy(), 256, r))
+        assert min(sp_l, sp_h) <= sp_mix <= (sp_l + sp_h) / 2
+
+    def test_weight_shifts_toward_heavier_app(self):
+        mostly_heavy = WorkloadMix(apps=(light(), heavy()), weights=(1.0, 9.0))
+        mostly_light = WorkloadMix(apps=(light(), heavy()), weights=(9.0, 1.0))
+        r = 4.0
+        assert mix_speedup(mostly_heavy, 256, r) < mix_speedup(mostly_light, 256, r)
+
+
+class TestMixOptimum:
+    def test_compromise_between_per_app_optima(self):
+        r_light = merging.best_symmetric(light(), 256).r
+        r_heavy = merging.best_symmetric(heavy(), 256).r
+        mix_best = best_symmetric_for_mix(WorkloadMix.uniform([light(), heavy()]))
+        lo, hi = sorted([r_light, r_heavy])
+        assert lo <= mix_best.r <= hi
+
+    def test_mix_optimum_dominates_single_app_designs_on_mix(self):
+        m = WorkloadMix.uniform([light(), heavy()])
+        best = best_symmetric_for_mix(m)
+        for single in (light(), heavy()):
+            r_single = merging.best_symmetric(single, 256).r
+            assert best.speedup >= mix_speedup(m, 256, r_single) - 1e-9
+
+    def test_extreme_weights_recover_single_app_optimum(self):
+        m = WorkloadMix(apps=(light(), heavy()), weights=(1e6, 1e-6))
+        best = best_symmetric_for_mix(m)
+        assert best.r == merging.best_symmetric(light(), 256).r

@@ -1,0 +1,125 @@
+"""Unit tests for the application parameter records (Tables II–IV)."""
+
+import pytest
+
+from repro.core.params import TABLE2, TABLE4, AppParams, MeasuredParams
+
+
+class TestAppParams:
+    def test_fraction_decomposition_sums_to_serial(self):
+        p = AppParams(f=0.99, fcon_share=0.6, fored_share=0.8)
+        assert p.fcon + p.fred == pytest.approx(p.serial)
+        assert p.fcred + p.fored == pytest.approx(p.fred)
+        assert p.serial == pytest.approx(0.01)
+
+    def test_table3_example_values(self):
+        # f=0.999, fcon=60%, fored=10%: fcon=0.0006, fcred=0.00036, fored=0.00004
+        p = AppParams(f=0.999, fcon_share=0.60, fored_share=0.10)
+        assert p.fcon == pytest.approx(6e-4)
+        assert p.fcred == pytest.approx(3.6e-4)
+        assert p.fored == pytest.approx(4e-5)
+
+    def test_comm_split_is_half_half(self):
+        p = AppParams(f=0.99, fcon_share=0.6, fored_share=0.8)
+        assert p.fcomp == pytest.approx(p.fcomm)
+        assert p.fcomp + p.fcomm == pytest.approx(p.fred)
+
+    def test_rejects_f_outside_open_interval(self):
+        with pytest.raises(ValueError):
+            AppParams(f=1.0, fcon_share=0.5, fored_share=0.5)
+        with pytest.raises(ValueError):
+            AppParams(f=0.0, fcon_share=0.5, fored_share=0.5)
+
+    def test_rejects_shares_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            AppParams(f=0.99, fcon_share=1.2, fored_share=0.5)
+        with pytest.raises(ValueError):
+            AppParams(f=0.99, fcon_share=0.5, fored_share=-0.1)
+
+    def test_with_replaces_fields(self):
+        p = AppParams(f=0.99, fcon_share=0.6, fored_share=0.8, name="a")
+        q = p.with_(f=0.999)
+        assert q.f == 0.999 and q.fcon_share == 0.6 and q.name == "a"
+        assert p.f == 0.99  # frozen original untouched
+
+    def test_describe_mentions_name_and_f(self):
+        p = AppParams(f=0.99, fcon_share=0.6, fored_share=0.8, name="kmeans")
+        text = p.describe()
+        assert "kmeans" in text and "0.99" in text
+
+
+class TestMeasuredParams:
+    def test_table2_kmeans_row(self):
+        k = TABLE2["kmeans"]
+        assert k.s == pytest.approx(0.00015)
+        assert k.f == pytest.approx(0.99985)
+        assert k.fred_share == pytest.approx(0.43)
+        assert k.fcon_share == pytest.approx(0.57)
+        assert k.fored_rel == pytest.approx(0.72)
+
+    def test_table2_hop_superlinear(self):
+        h = TABLE2["hop"]
+        assert h.fored_rel > 1.0  # 155% relative growth
+        assert h.growth_alpha > 1.0
+
+    def test_absolute_fractions(self):
+        k = TABLE2["kmeans"]
+        assert k.fcon + k.fred == pytest.approx(k.s)
+        assert k.fcred == pytest.approx(k.fred)  # single-core baseline
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            MeasuredParams(
+                name="bad", serial_pct=0.1, critical_pct=0.0,
+                fored_rel=0.5, fred_share=0.3, fcon_share=0.3,
+            )
+
+    def test_to_design_params_clips_fored(self):
+        h = TABLE2["hop"]
+        d = h.to_design_params()
+        assert d.fored_share == 1.0
+        assert d.f == pytest.approx(h.f)
+        k = TABLE2["kmeans"].to_design_params()
+        assert k.fored_share == pytest.approx(0.72)
+
+    def test_all_three_applications_present(self):
+        assert set(TABLE2) == {"kmeans", "fuzzy", "hop"}
+
+
+class TestTable4:
+    def test_has_all_ten_rows(self):
+        assert len(TABLE4) == 10
+
+    def test_base_rows_match_table2_shares(self):
+        by_label = {r.label: r for r in TABLE4}
+        assert by_label["kmeans-base"].fred_share == pytest.approx(
+            TABLE2["kmeans"].fred_share
+        )
+        assert by_label["hop-default"].fred_share == pytest.approx(
+            TABLE2["hop"].fred_share
+        )
+
+    def test_fuzzy_base_row_documents_paper_inconsistency(self):
+        # The paper's Table IV prints fuzzy-base as fred=65/fcon=35 while its
+        # Table II prints fred=35/fcon=65 for the same run — the columns are
+        # swapped in one of the two tables.  We transcribe both verbatim and
+        # record the conflict here so it is visible, not silently "fixed".
+        by_label = {r.label: r for r in TABLE4}
+        assert by_label["fuzzy-base"].fred_share == pytest.approx(
+            TABLE2["fuzzy"].fcon_share
+        )
+
+    def test_shares_sum_to_one(self):
+        for row in TABLE4:
+            assert row.fred_share + row.fcon_share == pytest.approx(1.0)
+
+    def test_point_scaling_raises_parallel_fraction(self):
+        # Table IV: scaling N increases f because merge work is independent
+        # of the number of points.
+        by_label = {r.label: r for r in TABLE4}
+        assert by_label["kmeans-point"].f > by_label["kmeans-base"].f
+        assert by_label["fuzzy-point"].f > by_label["fuzzy-base"].f
+
+    def test_hop_parallel_fraction_drops_with_larger_set(self):
+        by_label = {r.label: r for r in TABLE4}
+        assert by_label["hop-med"].f < by_label["hop-default"].f

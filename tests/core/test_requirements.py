@@ -1,0 +1,76 @@
+"""Unit tests for the inverse-problem (requirements) module."""
+
+import pytest
+
+from repro.core import measured as mm
+from repro.core.params import TABLE2, MeasuredParams
+from repro.core.requirements import (
+    max_affordable_overhead,
+    required_parallel_fraction,
+    worthwhile_cores,
+)
+
+
+class TestAffordableOverhead:
+    def test_inversion_is_exact(self):
+        # plug the bound back into the forward model: it hits the target
+        f, con, p, target = 0.999, 0.6, 64, 40.0
+        o = max_affordable_overhead(f, con, p, target)
+        assert o > 0
+        params = MeasuredParams(
+            name="x", serial_pct=100 * (1 - f), critical_pct=0.0,
+            fored_rel=o, fred_share=1 - con, fcon_share=con,
+        )
+        assert float(mm.speedup_extended(params, p)) == pytest.approx(target, rel=1e-9)
+
+    def test_unreachable_target_returns_zero(self):
+        # target above Amdahl's own ceiling: no overhead budget at all
+        assert max_affordable_overhead(0.99, 0.6, 64, 70.0) == 0.0
+
+    def test_budget_shrinks_with_core_count(self):
+        # the same target on more cores leaves room; but a *scaled* target
+        # (fixed efficiency) tightens the budget as p grows
+        o_small = max_affordable_overhead(0.999, 0.6, 32, 0.5 * 32)
+        o_large = max_affordable_overhead(0.999, 0.6, 256, 0.5 * 256)
+        assert o_large < o_small
+
+    def test_no_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            max_affordable_overhead(0.99, 0.6, 16, 10.0, fred_share=0.0)
+
+
+class TestWorthwhileCores:
+    def test_matches_peak_region(self):
+        k = TABLE2["kmeans"]
+        p = worthwhile_cores(k, min_gain=0.01)
+        peak, _ = mm.peak_core_count(k, max_cores=8192)
+        assert p <= 2 * peak  # never recommends scaling past the peak zone
+
+    def test_lower_gain_threshold_recommends_more_cores(self):
+        k = TABLE2["kmeans"]
+        assert worthwhile_cores(k, min_gain=0.001) >= worthwhile_cores(
+            k, min_gain=0.2
+        )
+
+    def test_hop_stops_earliest(self):
+        counts = {name: worthwhile_cores(app) for name, app in TABLE2.items()}
+        assert counts["hop"] == min(counts.values())
+
+
+class TestRequiredParallelFraction:
+    def test_amdahl_inversion(self):
+        # f for 50x on 100 cores: 1/50 = (1-f) + f/100
+        f = required_parallel_fraction(100, 50.0)
+        assert 1.0 / ((1 - f) + f / 100) == pytest.approx(50.0, rel=1e-12)
+
+    def test_growth_raises_the_bar(self):
+        base = required_parallel_fraction(100, 30.0)
+        with_growth = required_parallel_fraction(100, 30.0, serial_growth=0.01)
+        assert with_growth > base
+
+    def test_unreachable_raises(self):
+        with pytest.raises(ValueError):
+            required_parallel_fraction(10, 20.0)  # 20x on 10 cores
+
+    def test_trivial_target(self):
+        assert required_parallel_fraction(8, 1.0) == 0.0

@@ -1,0 +1,71 @@
+"""Unit tests for parameter-sensitivity analysis."""
+
+import pytest
+
+from repro.core import merging
+from repro.core.params import AppParams
+from repro.core.sensitivity import elasticity, speedup_sensitivities, tornado
+
+
+def params() -> AppParams:
+    return AppParams(f=0.99, fcon_share=0.60, fored_share=0.80)
+
+
+class TestElasticity:
+    def test_sign_of_parallel_fraction(self):
+        # more parallel work → more speedup: positive elasticity
+        sens = {s.parameter: s for s in speedup_sensitivities(params(), r=32.0)}
+        assert sens["f"].elasticity > 0
+
+    def test_sign_of_overhead_share(self):
+        # more growing reduction → less speedup
+        sens = {s.parameter: s for s in speedup_sensitivities(params(), r=32.0)}
+        assert sens["fored_share"].elasticity < 0
+
+    def test_constant_share_trades_against_overhead(self):
+        # raising fcon share shrinks the growing part (fored = (1−fcon)·o):
+        # at high overhead that is a net *gain*
+        sens = {s.parameter: s for s in speedup_sensitivities(params(), r=1.0)}
+        assert sens["fcon_share"].elasticity > 0
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            elasticity(lambda p: 1.0, params(), "frobnication")
+
+    def test_gradient_matches_manual_difference(self):
+        fn = lambda p: float(merging.speedup_symmetric(p, 256, 8.0))  # noqa: E731
+        s = elasticity(fn, params(), "fored_share", rel_step=1e-5)
+        h = 1e-5 * 0.8
+        manual = (
+            fn(params().with_(fored_share=0.8 + h))
+            - fn(params().with_(fored_share=0.8 - h))
+        ) / (2 * h)
+        assert s.gradient == pytest.approx(manual, rel=1e-6)
+
+
+class TestTornado:
+    def test_sorted_by_magnitude(self):
+        ranked = tornado(speedup_sensitivities(params()))
+        mags = [abs(s.elasticity) for s in ranked]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_f_dominates_near_its_ceiling(self):
+        # at f = 0.99 a relative change in f swings the serial fraction
+        # enormously — it should rank top for the high-overhead class
+        ranked = tornado(speedup_sensitivities(params()))
+        assert ranked[0].parameter == "f"
+
+
+class TestOptimalDesignSensitivity:
+    def test_achievable_speedup_less_sensitive_than_fixed_design(self):
+        # re-optimising the chip partially absorbs parameter shifts: the
+        # achievable-speedup elasticity to fored is no larger than the
+        # frozen-design one at the (previous) optimum
+        frozen = {
+            s.parameter: s
+            for s in speedup_sensitivities(params(), r=32.0)
+        }["fored_share"]
+        adaptive = {
+            s.parameter: s for s in speedup_sensitivities(params())
+        }["fored_share"]
+        assert abs(adaptive.elasticity) <= abs(frozen.elasticity) + 1e-6

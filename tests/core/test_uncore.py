@@ -1,0 +1,80 @@
+"""Unit tests for the uncore-cost extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import merging
+from repro.core.params import AppParams
+from repro.core.uncore import (
+    best_symmetric_uncore,
+    speedup_symmetric_uncore,
+    uncore_break_even,
+)
+
+
+def params(ored=0.8) -> AppParams:
+    return AppParams(f=0.99, fcon_share=0.60, fored_share=ored)
+
+
+class TestModel:
+    def test_zero_tax_recovers_merging_model(self):
+        sizes = merging.power_of_two_sizes(256)
+        ours = np.asarray(speedup_symmetric_uncore(params(), 256, sizes, tau=0.0))
+        eq4 = np.asarray(merging.speedup_symmetric(params(), 256, sizes))
+        assert np.allclose(ours, eq4)
+
+    def test_tax_hurts_low_overhead_workloads(self):
+        # with a small merge, losing cores to uncore is pure loss
+        p = AppParams(f=0.999, fcon_share=0.60, fored_share=0.05)
+        sizes = merging.power_of_two_sizes(256)[:-1]
+        taxed = np.asarray(speedup_symmetric_uncore(p, 256, sizes, tau=1.0))
+        free = np.asarray(speedup_symmetric_uncore(p, 256, sizes, tau=0.0))
+        assert np.all(taxed < free)
+
+    def test_tax_can_help_high_overhead_small_core_designs(self):
+        # the interesting interaction: the tax cuts the core count, and
+        # with a linearly growing merge, fewer cores = less merge — for
+        # overhead-dominated small-core designs the tax is a net *win*
+        # (consolidation by another name)
+        taxed = float(speedup_symmetric_uncore(params(0.8), 256, 1.0, tau=3.0))
+        free = float(speedup_symmetric_uncore(params(0.8), 256, 1.0, tau=0.0))
+        assert taxed > free
+
+    def test_best_design_speedup_never_improves_with_tax(self):
+        # ...but at the *optimum* the tax cannot help: the free-design
+        # space contains every taxed design's effective configuration
+        _, sp_free = best_symmetric_uncore(params(0.8), 256, tau=0.0)
+        _, sp_taxed = best_symmetric_uncore(params(0.8), 256, tau=4.0)
+        assert sp_taxed <= sp_free + 1e-9
+
+    def test_tax_shifts_optimum_to_bigger_cores(self):
+        r_free, _ = best_symmetric_uncore(params(0.10), 256, tau=0.0)
+        r_taxed, _ = best_symmetric_uncore(params(0.10), 256, tau=4.0)
+        assert r_taxed >= r_free
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            speedup_symmetric_uncore(params(), 256, 256.0, tau=1.0)
+        with pytest.raises(ValueError):
+            speedup_symmetric_uncore(params(), 256, 4.0, tau=-1.0)
+
+
+class TestBreakEven:
+    def test_zero_when_bigger_cores_already_win(self):
+        # at high overhead the 2r design already beats r without any tax
+        assert uncore_break_even(params(0.8), 256, r=1.0) == 0.0
+
+    def test_positive_for_small_core_friendly_workloads(self):
+        # embarrassingly parallel, low overhead: small cores win until the
+        # tax gets heavy
+        p = AppParams(f=0.999, fcon_share=0.60, fored_share=0.10)
+        tau = uncore_break_even(p, 256, r=1.0, growth="log")
+        assert tau > 0.0
+
+    def test_break_even_is_a_fixed_point(self):
+        p = AppParams(f=0.999, fcon_share=0.60, fored_share=0.10)
+        tau = uncore_break_even(p, 256, r=1.0, growth="log")
+        if np.isfinite(tau) and tau > 0:
+            small = float(speedup_symmetric_uncore(p, 256, 1.0, tau, growth="log"))
+            big = float(speedup_symmetric_uncore(p, 256, 2.0, tau, growth="log"))
+            assert small == pytest.approx(big, rel=1e-3)

@@ -1,0 +1,116 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_options(self):
+        args = build_parser().parse_args(["run", "fig4", "--csv", "--scale", "0.1"])
+        assert args.experiment == "fig4"
+        assert args.csv and args.scale == 0.1
+
+    def test_predict_requires_params(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict"])
+
+
+class TestCommands:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "table2" in out
+
+    def test_run_analytic_experiment(self, capsys):
+        assert main(["run", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "51.6" in out
+
+    def test_run_csv_mode(self, capsys):
+        assert main(["run", "table3", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "parallelism,constant,reduction" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            main(["run", "fig99"])
+
+    def test_predict(self, capsys):
+        rc = main([
+            "predict", "--f", "0.99", "--fcon", "0.6", "--fored", "0.8",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best symmetric" in out
+        assert "36.2" in out  # the paper's 4(d) peak
+        assert "43.3" in out  # the paper's 5(h) peak
+
+    def test_predict_with_target(self, capsys):
+        rc = main([
+            "predict", "--f", "0.999", "--fcon", "0.6", "--fored", "0.1",
+            "--target", "40", "--cores", "64",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fored <=" in out
+
+    def test_predict_with_unreachable_target(self, capsys):
+        rc = main([
+            "predict", "--f", "0.99", "--fcon", "0.6", "--fored", "0.1",
+            "--target", "500", "--cores", "64",
+        ])
+        assert rc == 0
+        assert "unreachable" in capsys.readouterr().out
+
+    def test_predict_with_log_growth(self, capsys):
+        rc = main([
+            "predict", "--f", "0.999", "--fcon", "0.6", "--fored", "0.1",
+            "--growth", "log",
+        ])
+        assert rc == 0
+        assert "ACMP advantage" in capsys.readouterr().out
+
+    def test_characterize(self, capsys):
+        rc = main([
+            "characterize", "kmeans", "--scale", "0.03", "--max-threads", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fored" in out and "optimal 256-BCE" in out
+
+    def test_characterize_with_tree_reduction(self, capsys):
+        rc = main([
+            "characterize", "kmeans", "--scale", "0.03", "--max-threads", "4",
+            "--reduction", "tree",
+        ])
+        assert rc == 0
+        assert "fored" in capsys.readouterr().out
+
+    def test_characterize_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize", "apriori"])
+
+    def test_diff_identical_reports(self, capsys, tmp_path):
+        assert main(["run", "fig1", "--json", str(tmp_path)]) == 0
+        capsys.readouterr()
+        rc = main([
+            "diff", str(tmp_path / "fig1.json"), str(tmp_path / "fig1.json"),
+        ])
+        assert rc == 0
+        assert "no differences" in capsys.readouterr().out
+
+    def test_simulate_trace_file(self, capsys, tmp_path):
+        from repro.simx import Compute, ThreadTrace, TraceProgram
+        from repro.simx.traceio import dump_program
+
+        prog = TraceProgram("tiny", [ThreadTrace(0, [Compute(1000)])])
+        path = dump_program(prog, tmp_path / "tiny.jsonl")
+        rc = main(["simulate", str(path), "--cores", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tiny" in out and "coherence" in out

@@ -1,0 +1,74 @@
+"""Unit tests for report diffing."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.diffing import diff_reports
+from repro.experiments.report import ExperimentReport, PaperComparison
+from repro.util.tables import TextTable
+
+
+def report(experiment_id="demo", measured=1.0, holds=True, table_rows=2):
+    r = ExperimentReport(experiment_id, "Demo")
+    r.add_comparison(PaperComparison(
+        "claim A", paper_value=1.0, measured_value=measured, tolerance=0.1,
+    ))
+    r.add_comparison(PaperComparison(
+        "claim B", "x", "y", qualitative=True, claim_holds=holds,
+    ))
+    t = TextTable(title="tbl", columns=["a"])
+    for i in range(table_rows):
+        t.add_row([i])
+    r.add_table(t)
+    return r
+
+
+class TestDiff:
+    def test_identical_reports_clean(self):
+        d = diff_reports(report(), report())
+        assert d.is_clean
+        assert "no differences" in d.render()
+
+    def test_flipped_claim_detected(self):
+        d = diff_reports(report(holds=True), report(holds=False))
+        assert not d.is_clean
+        assert len(d.flipped_claims) == 1
+        assert "FLIPPED" in d.render()
+
+    def test_value_change_without_flip(self):
+        d = diff_reports(report(measured=1.0), report(measured=1.05))
+        assert d.changed_values
+        assert not d.flipped_claims
+
+    def test_value_change_that_flips(self):
+        d = diff_reports(report(measured=1.0), report(measured=2.0))
+        assert d.flipped_claims and not d.changed_values
+
+    def test_added_and_removed_claims(self):
+        old = report()
+        new = report()
+        new.comparisons.pop()  # drop claim B
+        new.add_comparison(PaperComparison("claim C", 1.0, 1.0))
+        d = diff_reports(old, new)
+        assert "claim B" in d.removed_claims
+        assert "claim C" in d.added_claims
+
+    def test_table_shape_change(self):
+        d = diff_reports(report(table_rows=2), report(table_rows=3))
+        assert d.table_shape_changes
+
+    def test_mismatched_experiments_rejected(self):
+        with pytest.raises(ValueError):
+            diff_reports(report("a"), report("b"))
+
+    def test_real_report_self_diff_clean(self):
+        a = run_experiment("fig7")
+        b = run_experiment("fig7")
+        assert diff_reports(a, b).is_clean
+
+    def test_roundtrip_through_json_still_clean(self, tmp_path):
+        from repro.experiments.store import load_report, save_report
+
+        a = run_experiment("fig7")
+        p = save_report(a, tmp_path / "r.json")
+        assert diff_reports(a, load_report(p)).is_clean

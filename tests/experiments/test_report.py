@@ -1,0 +1,59 @@
+"""Unit tests for experiment reports and paper comparisons."""
+
+import pytest
+
+from repro.experiments.report import ExperimentReport, PaperComparison, series_table
+from repro.util.tables import TextTable
+
+
+class TestPaperComparison:
+    def test_numeric_within_tolerance(self):
+        c = PaperComparison("x", paper_value=100.0, measured_value=103.0, tolerance=0.05)
+        assert c.matches()
+
+    def test_numeric_outside_tolerance(self):
+        c = PaperComparison("x", paper_value=100.0, measured_value=110.0, tolerance=0.05)
+        assert not c.matches()
+
+    def test_qualitative(self):
+        assert PaperComparison(
+            "x", "a", "b", qualitative=True, claim_holds=True
+        ).matches()
+        assert not PaperComparison(
+            "x", "a", "b", qualitative=True, claim_holds=False
+        ).matches()
+
+    def test_zero_paper_value(self):
+        c = PaperComparison("x", paper_value=0.0, measured_value=0.001, tolerance=0.01)
+        assert c.matches()
+
+
+class TestExperimentReport:
+    def test_render_includes_everything(self):
+        r = ExperimentReport("demo", "A demo")
+        t = TextTable(title="t1", columns=["a"])
+        t.add_row([1])
+        r.add_table(t)
+        r.add_comparison(PaperComparison("claim1", 1.0, 1.0))
+        r.add_note("a note")
+        text = r.render()
+        assert "demo" in text and "t1" in text and "claim1" in text and "a note" in text
+
+    def test_all_match(self):
+        r = ExperimentReport("demo", "A demo")
+        r.add_comparison(PaperComparison("good", 1.0, 1.0))
+        assert r.all_match
+        r.add_comparison(PaperComparison("bad", 1.0, 2.0))
+        assert not r.all_match
+
+    def test_failed_comparison_marked_in_render(self):
+        r = ExperimentReport("demo", "A demo")
+        r.add_comparison(PaperComparison("bad", 1.0, 2.0))
+        assert "NO" in r.render()
+
+
+class TestSeriesTable:
+    def test_columns(self):
+        t = series_table("f", "x", [1, 2], {"s1": [1.0, 2.0], "s2": [3.0, 4.0]})
+        assert t.columns == ["x", "s1", "s2"]
+        assert len(t.rows) == 2

@@ -1,0 +1,63 @@
+"""Unit tests for the shared simulator-sweep machinery."""
+
+import pytest
+
+from repro.experiments import simsweep
+
+
+class TestDefaultWorkloads:
+    def test_contains_the_three_paper_workloads(self):
+        wls = simsweep.default_workloads(0.05)
+        assert set(wls) == {"kmeans", "fuzzy", "hop"}
+
+    def test_scale_controls_dataset_size(self):
+        small = simsweep.default_workloads(0.05)["kmeans"].dataset.n_points
+        big = simsweep.default_workloads(0.5)["kmeans"].dataset.n_points
+        assert big > small
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            simsweep.default_workloads(0.0)
+        with pytest.raises(ValueError):
+            simsweep.default_workloads(1.5)
+
+
+class TestMemoisation:
+    def test_cache_hit_returns_same_object(self):
+        simsweep.clear_cache()
+        wl = simsweep.default_workloads(0.03)["kmeans"]
+        a = simsweep.simulate_breakdowns(wl, (1, 2), n_cores=2, mem_scale=8)
+        b = simsweep.simulate_breakdowns(wl, (1, 2), n_cores=2, mem_scale=8)
+        assert a[1] is b[1]  # memoised, not recomputed
+
+    def test_different_mem_scale_different_entry(self):
+        simsweep.clear_cache()
+        wl = simsweep.default_workloads(0.03)["kmeans"]
+        a = simsweep.simulate_breakdowns(wl, (1,), n_cores=2, mem_scale=8)
+        b = simsweep.simulate_breakdowns(wl, (1,), n_cores=2, mem_scale=4)
+        assert a[1] is not b[1]
+
+    def test_clear_cache(self):
+        simsweep.clear_cache()
+        wl = simsweep.default_workloads(0.03)["kmeans"]
+        a = simsweep.simulate_breakdowns(wl, (1,), n_cores=2, mem_scale=8)
+        simsweep.clear_cache()
+        b = simsweep.simulate_breakdowns(wl, (1,), n_cores=2, mem_scale=8)
+        assert a[1] is not b[1]
+        # but deterministic: equal values
+        assert a[1].total == b[1].total
+
+
+class TestSummaryRenderer:
+    def test_simulation_summary_text(self):
+        from repro.simx import Compute, Machine, MachineConfig, ThreadTrace, TraceProgram
+        from repro.simx.trace import PhaseBegin, PhaseEnd
+
+        prog = TraceProgram("demo", [ThreadTrace(0, [
+            PhaseBegin("work"), Compute(100), PhaseEnd("work"),
+        ])])
+        res = Machine(MachineConfig.baseline(n_cores=1)).run(prog)
+        text = res.summary()
+        assert "demo" in text
+        assert "work" in text
+        assert "coherence" in text

@@ -1,0 +1,46 @@
+"""Unit tests for JSON report persistence."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.store import (
+    load_report,
+    report_from_dict,
+    report_to_dict,
+    save_report,
+)
+
+
+@pytest.fixture(scope="module")
+def fig7_report():
+    return run_experiment("fig7")
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_structure(self, fig7_report):
+        data = report_to_dict(fig7_report)
+        rebuilt = report_from_dict(data)
+        assert rebuilt.experiment_id == fig7_report.experiment_id
+        assert len(rebuilt.tables) == len(fig7_report.tables)
+        assert len(rebuilt.comparisons) == len(fig7_report.comparisons)
+        assert rebuilt.all_match == fig7_report.all_match
+
+    def test_comparison_outcomes_preserved(self, fig7_report):
+        rebuilt = report_from_dict(report_to_dict(fig7_report))
+        for a, b in zip(fig7_report.comparisons, rebuilt.comparisons):
+            assert a.matches() == b.matches()
+
+    def test_file_roundtrip(self, fig7_report, tmp_path):
+        p = save_report(fig7_report, tmp_path / "sub" / "fig7.json")
+        assert p.exists()
+        rebuilt = load_report(p)
+        assert rebuilt.render() == fig7_report.render()
+
+    def test_schema_guard(self):
+        with pytest.raises(ValueError, match="schema"):
+            report_from_dict({"schema": 999})
+
+    def test_json_is_diffable(self, fig7_report, tmp_path):
+        a = save_report(fig7_report, tmp_path / "a.json").read_text()
+        b = save_report(run_experiment("fig7"), tmp_path / "b.json").read_text()
+        assert a == b  # deterministic output

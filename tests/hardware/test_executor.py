@@ -1,0 +1,97 @@
+"""Unit tests for the hardware executor (model backend) and calibration."""
+
+import pytest
+
+from repro.hardware.calibration import compare_growth_curves
+from repro.hardware.executor import execute_workload, model_breakdown
+from repro.hardware.machine_model import XEON_E5520
+from repro.workloads.datasets import make_blobs
+from repro.workloads.instrument import extract_parameters, serial_growth_curve
+from repro.workloads.kmeans import KMeansWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return KMeansWorkload(
+        make_blobs(1200, 6, 4, seed=4), max_iterations=4, tolerance=1e-12
+    )
+
+
+@pytest.fixture(scope="module")
+def breakdowns(workload):
+    return execute_workload(workload, (1, 2, 4, 8), backend="model")
+
+
+class TestModelBackend:
+    def test_all_thread_counts_present(self, breakdowns):
+        assert set(breakdowns) == {1, 2, 4, 8}
+
+    def test_parallel_time_shrinks_with_threads(self, breakdowns):
+        assert breakdowns[8].parallel < breakdowns[2].parallel < breakdowns[1].parallel
+
+    def test_reduction_time_grows_with_threads(self, breakdowns):
+        # the paper's core observation, on the hardware side
+        assert breakdowns[8].reduction > breakdowns[2].reduction > breakdowns[1].reduction
+
+    def test_serial_growth_curve_rises(self, breakdowns):
+        curve = serial_growth_curve(breakdowns)
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[8] > curve[2] > 1.0
+
+    def test_extracted_parameters_sane(self, breakdowns):
+        ep = extract_parameters(breakdowns, "kmeans-hw")
+        assert 0 < ep.serial_pct < 5
+        assert 0 < ep.fred_share < 1
+        assert ep.fored_rel > 0
+
+    def test_thread_count_beyond_machine_rejected(self, workload):
+        with pytest.raises(ValueError):
+            model_breakdown(workload, 16, XEON_E5520)
+
+    def test_unknown_backend_rejected(self, workload):
+        with pytest.raises(ValueError):
+            execute_workload(workload, (1,), backend="gpu")
+
+
+class TestCalibration:
+    def test_identical_curves_correlate_perfectly(self):
+        c = {1: 1.0, 2: 1.5, 4: 2.5, 8: 4.5}
+        cmp_ = compare_growth_curves(c, dict(c))
+        assert cmp_.correlation == pytest.approx(1.0)
+        assert cmp_.max_relative_deviation == pytest.approx(0.0)
+        assert cmp_.both_grow()
+
+    def test_shape_agreement_detected(self):
+        a = {1: 1.0, 2: 1.4, 4: 2.2, 8: 3.8}
+        b = {1: 1.0, 2: 1.6, 4: 2.6, 8: 4.6}
+        cmp_ = compare_growth_curves(a, b)
+        assert cmp_.correlation > 0.99
+        assert cmp_.both_grow()
+
+    def test_common_core_counts_only(self):
+        a = {1: 1.0, 2: 1.5, 16: 9.0}
+        b = {1: 1.0, 2: 1.4, 8: 4.0}
+        cmp_ = compare_growth_curves(a, b)
+        assert cmp_.cores == (1, 2)
+
+    def test_insufficient_overlap_raises(self):
+        with pytest.raises(ValueError):
+            compare_growth_curves({1: 1.0}, {1: 1.0, 2: 2.0})
+
+    def test_simulator_and_hardware_model_agree_on_growth(self, workload, breakdowns):
+        """Integration: Fig 2(b) vs Fig 2(c) — both environments show the
+        same growing-serial-section shape."""
+        from repro.simx import Machine, MachineConfig
+        from repro.workloads.instrument import breakdown_from_simulation
+        from repro.workloads.tracegen import program_from_execution
+
+        sim = {}
+        for p in (1, 2, 4, 8):
+            prog = program_from_execution(workload.execute(p), mem_scale=4)
+            res = Machine(MachineConfig.baseline(n_cores=8)).run(prog)
+            sim[p] = breakdown_from_simulation(res)
+        cmp_ = compare_growth_curves(
+            serial_growth_curve(sim), serial_growth_curve(breakdowns)
+        )
+        assert cmp_.both_grow()
+        assert cmp_.correlation > 0.95

@@ -1,0 +1,88 @@
+"""Unit tests for the NUMA hardware machine model."""
+
+import pytest
+
+from repro.hardware.machine_model import XEON_E5520, HardwareMachineModel
+from repro.workloads.base import PHASE_PARALLEL, PHASE_REDUCTION, PhaseWork
+
+
+class TestTopology:
+    def test_xeon_has_eight_cores(self):
+        assert XEON_E5520.n_cores == 8
+
+    def test_socket_packing(self):
+        m = XEON_E5520
+        assert [m.socket_of(t) for t in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareMachineModel(n_sockets=0)
+        with pytest.raises(ValueError):
+            HardwareMachineModel(frequency_ghz=-1)
+
+
+class TestTiming:
+    def test_instruction_time(self):
+        m = HardwareMachineModel(frequency_ghz=2.0, ipc=2.0)
+        assert m.instruction_time_ns(4_000) == pytest.approx(1000.0)
+
+    def test_remote_socket_access_costs_more(self):
+        m = XEON_E5520
+        # reader on socket 0 with 2 threads: the only other thread is local
+        local_only = m.shared_access_ns(0, 2)
+        # with 8 threads, 4 of 7 owners are on the other socket
+        mixed = m.shared_access_ns(0, 8)
+        assert mixed > local_only
+        assert local_only == pytest.approx(m.local_c2c_ns)
+
+    def test_single_thread_shared_access_is_private(self):
+        assert XEON_E5520.shared_access_ns(0, 1) == XEON_E5520.private_access_ns
+
+    def test_thread_time_charges_all_components(self):
+        m = HardwareMachineModel()
+        w = PhaseWork(
+            phase=PHASE_REDUCTION,
+            per_thread_instructions=(1000, 0),
+            per_thread_reads=(100, 0),
+            per_thread_writes=(10, 0),
+            shared_reads=(50, 0),
+        )
+        t = m.thread_time_ns(w, 0)
+        floor = m.instruction_time_ns(1000) + 60 * m.private_access_ns
+        assert t > floor  # shared reads priced above private
+
+
+class TestPhaseWallTime:
+    def test_barrier_overhead_grows_with_threads(self):
+        m = HardwareMachineModel()
+
+        def wall(p):
+            w = PhaseWork(
+                phase=PHASE_PARALLEL,
+                per_thread_instructions=tuple(1000 for _ in range(p)),
+                per_thread_reads=tuple(0 for _ in range(p)),
+                per_thread_writes=tuple(0 for _ in range(p)),
+            )
+            return m.phase_wall_time_ns(w)
+
+        assert wall(8) > wall(2)  # same per-thread work, more barrier rounds
+
+    def test_single_thread_no_barrier(self):
+        m = HardwareMachineModel()
+        w = PhaseWork(
+            phase=PHASE_PARALLEL,
+            per_thread_instructions=(4520,),
+            per_thread_reads=(0,),
+            per_thread_writes=(0,),
+        )
+        assert m.phase_wall_time_ns(w) == pytest.approx(m.instruction_time_ns(4520))
+
+    def test_wall_time_is_slowest_thread(self):
+        m = HardwareMachineModel()
+        w = PhaseWork(
+            phase=PHASE_PARALLEL,
+            per_thread_instructions=(10_000, 100),
+            per_thread_reads=(0, 0),
+            per_thread_writes=(0, 0),
+        )
+        assert m.phase_wall_time_ns(w) >= m.instruction_time_ns(10_000)

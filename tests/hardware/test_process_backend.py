@@ -1,0 +1,36 @@
+"""Smoke tests for the real-multiprocessing backend.
+
+Wall-clock magnitudes are host-dependent, so nothing here asserts on
+timing ratios — only that the backend runs, produces well-formed
+breakdowns, and feeds the standard extraction pipeline.
+"""
+
+import pytest
+
+from repro.hardware.executor import execute_workload, process_breakdown
+from repro.workloads.datasets import make_blobs
+from repro.workloads.instrument import serial_growth_curve
+from repro.workloads.kmeans import KMeansWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return KMeansWorkload(make_blobs(1500, 6, 4, seed=3))
+
+
+class TestProcessBackend:
+    def test_breakdown_well_formed(self, workload):
+        b = process_breakdown(workload, n_threads=2, iterations=2)
+        assert b.n_threads == 2
+        assert b.total > 0
+        assert b.parallel > 0
+        assert b.reduction >= 0
+        assert b.total >= b.parallel
+
+    def test_execute_workload_process_backend(self, workload):
+        out = execute_workload(workload, (1, 2), backend="process")
+        assert set(out) == {1, 2}
+        # the curve machinery accepts the real timings
+        curve = serial_growth_curve(out)
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[2] > 0

@@ -1,0 +1,86 @@
+"""Model-vs-simulator cross-validation: do Eq 4's design rankings match
+what the simulator measures when we actually *build* those chips?
+
+For a fixed BCE budget we simulate every symmetric design (nc cores of r
+BCEs, perf factor sqrt(r)) running kmeans, and compare the measured
+execution-time ranking against the extended model's predictions using
+parameters extracted from a homogeneous sweep.  This closes the loop the
+paper opens: the analytic model is trusted *because* it orders real
+(simulated) designs correctly.
+"""
+
+import pytest
+
+from repro.core import merging
+from repro.simx import Machine, MachineConfig
+from repro.workloads.datasets import make_blobs
+from repro.workloads.instrument import breakdown_from_simulation, extract_parameters
+from repro.workloads.kmeans import KMeansWorkload
+from repro.workloads.tracegen import program_from_execution
+
+BUDGET = 16  # BCEs — small enough to simulate every design point
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return KMeansWorkload(
+        make_blobs(2000, 9, 8, seed=11), max_iterations=3, tolerance=1e-12
+    )
+
+
+@pytest.fixture(scope="module")
+def extracted_params(workload):
+    machine = Machine(MachineConfig.baseline(n_cores=16))
+    breakdowns = {
+        p: breakdown_from_simulation(
+            machine.run(program_from_execution(workload.execute(p), mem_scale=2))
+        )
+        for p in (1, 2, 4, 8, 16)
+    }
+    return extract_parameters(breakdowns, "kmeans").to_measured_params().to_design_params()
+
+
+@pytest.fixture(scope="module")
+def design_results(workload, extracted_params):
+    out = {}
+    for r in (1, 2, 4, 8, 16):
+        nc = BUDGET // r
+        cfg = MachineConfig(
+            n_cores=nc,
+            core_perf_factors=tuple(float(r) ** 0.5 for _ in range(nc)),
+        )
+        res = Machine(cfg).run(
+            program_from_execution(workload.execute(nc), mem_scale=2)
+        )
+        model_speedup = float(
+            merging.speedup_symmetric(extracted_params, BUDGET, float(r))
+        )
+        out[r] = (res.total_cycles, model_speedup)
+    return out
+
+
+class TestDesignRanking:
+    def test_rankings_agree_exactly(self, design_results):
+        sim_rank = sorted(design_results, key=lambda r: design_results[r][0])
+        model_rank = sorted(design_results, key=lambda r: -design_results[r][1])
+        assert sim_rank == model_rank
+
+    def test_model_best_design_is_simulated_best(self, design_results):
+        sim_best = min(design_results, key=lambda r: design_results[r][0])
+        model_best = max(design_results, key=lambda r: design_results[r][1])
+        assert sim_best == model_best
+
+    def test_speedup_ratios_directionally_consistent(self, design_results):
+        # the model's predicted speedup ratio between any two designs has
+        # the same sign as the simulator's (monotone association)
+        rs = sorted(design_results)
+        for a, b in zip(rs, rs[1:]):
+            sim_faster = design_results[a][0] < design_results[b][0]
+            model_faster = design_results[a][1] > design_results[b][1]
+            assert sim_faster == model_faster, (a, b)
+
+    def test_kmeans_prefers_many_small_cores_at_16_bces(self, design_results):
+        # at a 16-BCE budget kmeans' tiny merge cannot yet outweigh the
+        # parallel win: r=1 wins in both worlds (the crossover the paper
+        # studies needs bigger budgets / heavier merges)
+        assert min(design_results, key=lambda r: design_results[r][0]) == 1

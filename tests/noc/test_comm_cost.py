@@ -1,0 +1,101 @@
+"""Unit tests for topology-derived communication growth (Eq 8)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import communication as comm
+from repro.noc.comm_cost import growcomm_for, reduction_comm_operations, topology_growcomm
+from repro.noc.topology import FullyConnected, Mesh2D, Ring, Torus2D
+
+
+class TestReductionOps:
+    def test_paper_formula(self):
+        # 2·(nc−1)·x with broadcast back
+        assert reduction_comm_operations(64, x=10) == 2 * 63 * 10
+
+    def test_gather_only(self):
+        assert reduction_comm_operations(64, x=10, broadcast_back=False) == 63 * 10
+
+    def test_single_core_no_messages(self):
+        assert reduction_comm_operations(1, x=100) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reduction_comm_operations(0)
+        with pytest.raises(ValueError):
+            reduction_comm_operations(4, x=-1)
+
+
+class TestGrowcommFor:
+    def test_mesh_matches_eq8_within_approximation(self):
+        # Eq 8 simplifies avg_hops to sqrt(nc)−1 and divides out, giving
+        # sqrt(nc)/2.  The exact ratio uses the true average hop count,
+        # which for a k×k mesh is 2(k²−1)/(3k); the two agree to within
+        # ~35% at 64+ cores (the k/3-vs-k/2 constant).
+        for nc in (64, 256, 1024):
+            exact = growcomm_for(Mesh2D(nc))
+            eq8 = math.sqrt(nc) / 2.0
+            assert 0.5 < eq8 / exact < 1.6, nc
+
+    def test_mesh_x_cancels(self):
+        m = Mesh2D(64)
+        assert growcomm_for(m, x=1) * 5 == pytest.approx(growcomm_for(m, x=5))
+
+    def test_single_core_zero(self):
+        assert growcomm_for(Mesh2D(1)) == 0.0
+
+    def test_topology_ordering(self):
+        # richer networks carry reduction traffic faster:
+        # crossbar < torus < mesh < ring
+        nc = 64
+        g = {
+            "crossbar": growcomm_for(FullyConnected(nc)),
+            "torus": growcomm_for(Torus2D(nc)),
+            "mesh": growcomm_for(Mesh2D(nc)),
+            "ring": growcomm_for(Ring(nc)),
+        }
+        assert g["crossbar"] < g["torus"] < g["mesh"] < g["ring"]
+
+    def test_ring_growth_linear_in_cores(self):
+        # ring: avg hops ~ nc/4, links ~ nc → growcomm ~ (2nc·nc/4)/(2nc) ~ nc/4
+        g64 = growcomm_for(Ring(64))
+        g128 = growcomm_for(Ring(128))
+        assert g128 / g64 == pytest.approx(2.0, rel=0.1)
+
+    def test_crossbar_growth_saturates(self):
+        # crossbar: messages 2(nc−1)·x, hops 1, links nc(nc−1)/2 → 2/nc·x… shrinks
+        assert growcomm_for(FullyConnected(256)) < growcomm_for(FullyConnected(16))
+
+
+class TestTopologyGrowcommAdapter:
+    def test_produces_comm_growth_usable_in_model(self):
+        from repro.core.params import AppParams
+
+        p = AppParams(f=0.99, fcon_share=0.6, fored_share=0.8)
+        mesh_exact = topology_growcomm("mesh")
+        sp = comm.speedup_symmetric_comm(p, 256, 4.0, comm=mesh_exact)
+        assert np.isfinite(sp) and sp > 0
+
+    def test_vectorised_evaluation(self):
+        g = topology_growcomm("ring")
+        out = g(np.array([4.0, 16.0, 64.0]))
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+    def test_caches_repeated_sizes(self):
+        g = topology_growcomm("mesh")
+        a = float(g(64.0))
+        b = float(g(64.0))
+        assert a == b
+
+    def test_exact_mesh_below_eq8_at_scale(self):
+        # Eq 8 estimates avg hops as sqrt(nc)−1 = k−1; the true k×k-mesh
+        # average is 2(k²−1)/(3k) ≈ 2k/3 < k−1 for k ≥ 3, so the exact
+        # topology-derived growth sits *below* the paper's closed form
+        # (Eq 8 is conservative on hop distance).
+        g = topology_growcomm("mesh")
+        for nc in (256.0, 1024.0):
+            assert float(g(nc)) < float(comm.MESH_COMM(nc))
+            assert float(g(nc)) > 0.5 * float(comm.MESH_COMM(nc))

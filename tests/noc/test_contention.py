@@ -1,0 +1,99 @@
+"""Unit tests for the link-contention analysis."""
+
+import numpy as np
+import pytest
+
+from repro.noc.contention import (
+    all_to_all_pattern,
+    analyse_pattern,
+    contended_growcomm,
+    gather_pattern,
+)
+from repro.noc.topology import Mesh2D
+
+
+class TestPatterns:
+    def test_gather_pair_count(self):
+        mesh = Mesh2D(16)
+        assert len(gather_pattern(mesh, 0, x=1)) == 15
+        assert len(gather_pattern(mesh, 0, x=3)) == 45
+
+    def test_all_to_all_pair_count(self):
+        mesh = Mesh2D(9)
+        assert len(all_to_all_pattern(mesh)) == 72  # 9·8
+
+    def test_gather_validates_master(self):
+        with pytest.raises(ValueError):
+            gather_pattern(Mesh2D(4), master=4)
+
+
+class TestAnalysis:
+    def test_gather_is_heavily_imbalanced(self):
+        mesh = Mesh2D(64)
+        analysis = analyse_pattern(mesh, gather_pattern(mesh, 0))
+        # the funnel into the master makes the hot link far above average
+        assert analysis.imbalance > 3.0
+        assert analysis.bottleneck_time > analysis.uniform_time
+
+    def test_all_to_all_far_better_balanced_than_gather(self):
+        mesh = Mesh2D(64)
+        gather = analyse_pattern(mesh, gather_pattern(mesh, 0))
+        a2a = analyse_pattern(mesh, all_to_all_pattern(mesh))
+        assert a2a.imbalance < gather.imbalance
+
+    def test_total_transfers_is_sum_of_hops(self):
+        mesh = Mesh2D(16)
+        pairs = gather_pattern(mesh, 0)
+        analysis = analyse_pattern(mesh, pairs)
+        assert analysis.total_transfers == sum(
+            mesh.hop_distance(s, d) for s, d in pairs
+        )
+
+    def test_empty_pattern(self):
+        mesh = Mesh2D(4)
+        analysis = analyse_pattern(mesh, [])
+        assert analysis.max_link_load == 0
+        assert analysis.imbalance == 1.0
+
+    def test_central_master_relieves_the_hotspot(self):
+        # gathering into a corner is worse than into the mesh's centre
+        mesh = Mesh2D(64)  # 8x8
+        corner = analyse_pattern(mesh, gather_pattern(mesh, 0))
+        center = analyse_pattern(mesh, gather_pattern(mesh, mesh.node_at(3, 3)))
+        assert center.max_link_load < corner.max_link_load
+
+
+class TestContendedGrowcomm:
+    def test_zero_at_single_core(self):
+        g = contended_growcomm("all_to_all")
+        assert float(g(1.0)) == 0.0
+
+    def test_monotone_in_cores(self):
+        g = contended_growcomm("all_to_all")
+        vals = g(np.array([4.0, 16.0, 64.0]))
+        assert np.all(np.diff(vals) > 0)
+
+    def test_contended_above_eq8(self):
+        # the bottleneck link is always at least as loaded as the average,
+        # so the contended model charges at least Eq 8's sqrt(nc)/2
+        from repro.core.communication import MESH_COMM
+
+        g = contended_growcomm("all_to_all")
+        for nc in (16.0, 64.0, 256.0):
+            assert float(g(nc)) >= float(MESH_COMM(nc)) * 0.9
+
+    def test_usable_in_speedup_model(self):
+        from repro.core import communication as comm
+        from repro.core.params import AppParams
+
+        p = AppParams(f=0.99, fcon_share=0.6, fored_share=0.8)
+        g = contended_growcomm("all_to_all")
+        sizes, sp = comm.sweep_symmetric_comm(p, 256, comm=g)
+        assert np.all(sp > 0)
+        # contention only lowers the peak vs the paper's Eq 8
+        _, sp_eq8 = comm.sweep_symmetric_comm(p, 256)
+        assert sp.max() <= sp_eq8.max() + 1e-9
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            contended_growcomm("ring-around-the-rosie")

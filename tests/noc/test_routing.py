@@ -1,0 +1,115 @@
+"""Unit tests for routing and the networkx cross-verification."""
+
+import numpy as np
+import pytest
+
+from repro.noc.routing import (
+    hop_matrix,
+    path_link_loads,
+    torus_route,
+    verify_against_networkx,
+    xy_route,
+)
+from repro.noc.topology import FullyConnected, Hypercube, Mesh2D, Ring, Torus2D
+
+
+class TestXYRoute:
+    def test_path_endpoints(self):
+        m = Mesh2D(16)
+        path = xy_route(m, 0, 15)
+        assert path[0] == 0 and path[-1] == 15
+
+    def test_path_length_is_manhattan_distance(self):
+        m = Mesh2D(16)
+        for s in range(16):
+            for d in range(16):
+                assert len(xy_route(m, s, d)) - 1 == m.hop_distance(s, d)
+
+    def test_path_steps_are_adjacent(self):
+        m = Mesh2D(12)
+        path = xy_route(m, 0, 11)
+        for u, v in zip(path, path[1:]):
+            assert m.hop_distance(u, v) == 1
+
+    def test_x_before_y(self):
+        m = Mesh2D(16)  # 4x4
+        path = xy_route(m, 0, 15)
+        rows = [m.coords(n)[0] for n in path]
+        # row changes only after all column movement is done
+        first_row_change = next(i for i, r in enumerate(rows) if r != rows[0])
+        assert all(r == rows[0] for r in rows[:first_row_change])
+
+    def test_self_route(self):
+        m = Mesh2D(9)
+        assert xy_route(m, 4, 4) == [4]
+
+
+class TestTorusRoute:
+    def test_endpoints(self):
+        t = Torus2D(16)
+        path = torus_route(t, 0, 10)
+        assert path[0] == 0 and path[-1] == 10
+
+    def test_length_matches_hop_distance(self):
+        t = Torus2D(16)
+        for s in range(16):
+            for d in range(16):
+                assert len(torus_route(t, s, d)) - 1 == t.hop_distance(s, d), (s, d)
+
+    def test_takes_wraparound_shortcut(self):
+        t = Torus2D(16)  # 4x4
+        # 0 -> 3 wraps in one hop instead of three
+        assert len(torus_route(t, 0, 3)) == 2
+
+    def test_steps_are_adjacent(self):
+        t = Torus2D(12)
+        edges = set(t.edges())
+        path = torus_route(t, 0, 11)
+        for u, v in zip(path, path[1:]):
+            assert (min(u, v), max(u, v)) in edges
+
+    def test_self_route(self):
+        t = Torus2D(9)
+        assert torus_route(t, 4, 4) == [4]
+
+
+class TestHopMatrix:
+    def test_symmetric_zero_diagonal(self):
+        h = hop_matrix(Mesh2D(9))
+        assert np.all(h == h.T)
+        assert np.all(np.diag(h) == 0)
+
+    def test_mean_matches_average_hops(self):
+        m = Torus2D(16)
+        h = hop_matrix(m)
+        n = m.n_nodes
+        mean = h.sum() / (n * (n - 1))
+        assert mean == pytest.approx(m.average_hops())
+
+
+class TestNetworkxVerification:
+    @pytest.mark.parametrize("topo_cls,size", [
+        (Mesh2D, 16), (Mesh2D, 12), (Mesh2D, 7),
+        (Torus2D, 16), (Torus2D, 9), (Torus2D, 4),
+        (Ring, 9), (Ring, 2),
+        (FullyConnected, 8),
+        (Hypercube, 16), (Hypercube, 2),
+    ])
+    def test_closed_form_distances_match_bfs(self, topo_cls, size):
+        assert verify_against_networkx(topo_cls(size))
+
+
+class TestLinkLoads:
+    def test_gather_to_master_loads_links_near_master(self):
+        m = Mesh2D(16)
+        pairs = [(src, 0) for src in range(1, 16)]
+        loads = path_link_loads(m, pairs)
+        # the link into the master carries the most traffic
+        max_link = max(loads, key=loads.get)
+        assert 0 in max_link
+
+    def test_total_load_equals_total_hops(self):
+        m = Mesh2D(9)
+        pairs = [(1, 5), (8, 0)]
+        loads = path_link_loads(m, pairs)
+        assert sum(loads.values()) == sum(m.hop_distance(s, d) for s, d in pairs)

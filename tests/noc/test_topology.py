@@ -1,0 +1,180 @@
+"""Unit tests for on-chip topologies."""
+
+import math
+
+import pytest
+
+from repro.noc.topology import (
+    FullyConnected,
+    Hypercube,
+    Mesh2D,
+    Ring,
+    Torus2D,
+    resolve_topology,
+)
+
+
+class TestMesh2D:
+    def test_square_shape_for_perfect_square(self):
+        m = Mesh2D(64)
+        assert (m.rows, m.cols) == (8, 8)
+
+    def test_nonsquare_factorisation(self):
+        m = Mesh2D(12)
+        assert m.rows * m.cols == 12
+        assert m.rows == 3 and m.cols == 4  # as square as possible
+
+    def test_prime_count_degenerates_to_line(self):
+        m = Mesh2D(7)
+        assert (m.rows, m.cols) == (1, 7)
+
+    def test_paper_link_count_formula(self):
+        # paper: 2·sqrt(nc)·(sqrt(nc)−1) links for a square mesh
+        for nc in (4, 16, 64, 256):
+            side = int(math.isqrt(nc))
+            assert Mesh2D(nc).link_count() == 2 * side * (side - 1)
+
+    def test_link_operations_doubles_links(self):
+        m = Mesh2D(16)
+        assert m.link_operations() == 2 * m.link_count()
+
+    def test_manhattan_distance(self):
+        m = Mesh2D(16)  # 4x4
+        assert m.hop_distance(0, 15) == 6  # (0,0) -> (3,3)
+        assert m.hop_distance(0, 3) == 3
+        assert m.hop_distance(5, 5) == 0
+
+    def test_coords_roundtrip(self):
+        m = Mesh2D(24)
+        for node in range(24):
+            r, c = m.coords(node)
+            assert m.node_at(r, c) == node
+
+    def test_edge_count_matches_link_count(self):
+        for nc in (1, 4, 9, 12, 16):
+            m = Mesh2D(nc)
+            assert sum(1 for _ in m.edges()) == m.link_count()
+
+    def test_average_hops_approximates_sqrt_minus_one(self):
+        # the paper uses avg_hops ≈ sqrt(nc) − 1; exact value for a k×k mesh
+        # is 2(k²−1)/(3k) ≈ 2k/3, same order. Check the paper's estimate is
+        # within a factor 1.5 of exact at 64+ cores.
+        for nc in (64, 256):
+            exact = Mesh2D(nc).average_hops()
+            paper = math.sqrt(nc) - 1
+            assert 0.6 < paper / exact < 1.6
+
+    def test_node_validation(self):
+        m = Mesh2D(4)
+        with pytest.raises(ValueError):
+            m.coords(4)
+        with pytest.raises(ValueError):
+            m.node_at(2, 0)
+
+
+class TestTorus2D:
+    def test_wraparound_shortens_distance(self):
+        t = Torus2D(16)  # 4x4
+        m = Mesh2D(16)
+        assert t.hop_distance(0, 3) == 1  # wrap in the row
+        assert t.hop_distance(0, 3) < m.hop_distance(0, 3)
+
+    def test_no_duplicate_edges_on_two_wide(self):
+        t = Torus2D(4)  # 2x2: wrap link == mesh link
+        edges = list(t.edges())
+        assert len(edges) == len(set(edges))
+
+    def test_edge_count_square(self):
+        # k×k torus with k>2 has 2·k² links
+        t = Torus2D(16)
+        assert sum(1 for _ in t.edges()) == 32
+
+    def test_average_hops_below_mesh(self):
+        assert Torus2D(64).average_hops() < Mesh2D(64).average_hops()
+
+
+class TestRing:
+    def test_distance_takes_short_way_round(self):
+        r = Ring(8)
+        assert r.hop_distance(0, 7) == 1
+        assert r.hop_distance(0, 4) == 4
+
+    def test_edge_counts(self):
+        assert sum(1 for _ in Ring(1).edges()) == 0
+        assert sum(1 for _ in Ring(2).edges()) == 1
+        assert sum(1 for _ in Ring(8).edges()) == 8
+
+    def test_average_hops_quarter_n(self):
+        r = Ring(16)
+        assert r.average_hops() == pytest.approx(16 / 4, rel=0.1)
+
+
+class TestHypercube:
+    def test_hamming_distance(self):
+        h = Hypercube(16)
+        assert h.hop_distance(0b0000, 0b1111) == 4
+        assert h.hop_distance(0b0101, 0b0100) == 1
+        assert h.hop_distance(3, 3) == 0
+
+    def test_link_count(self):
+        # (n/2)·log2 n: 16 nodes → 32 links
+        assert Hypercube(16).link_count() == 32
+        assert sum(1 for _ in Hypercube(16).edges()) == 32
+
+    def test_average_hops_closed_form_matches_exact(self):
+        h = Hypercube(16)
+        exact = super(Hypercube, h).average_hops()
+        assert h.average_hops() == pytest.approx(exact)
+
+    def test_sits_between_torus_and_crossbar(self):
+        n = 64
+        assert (
+            FullyConnected(n).average_hops()
+            < Hypercube(n).average_hops()
+            < Torus2D(n).average_hops()
+        )
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            Hypercube(12)
+
+    def test_single_node(self):
+        h = Hypercube(1)
+        assert h.average_hops() == 0.0
+        assert h.link_count() == 0
+
+
+class TestFullyConnected:
+    def test_single_hop_everywhere(self):
+        f = FullyConnected(10)
+        assert all(
+            f.hop_distance(s, d) == 1
+            for s in range(10) for d in range(10) if s != d
+        )
+
+    def test_quadratic_links(self):
+        assert FullyConnected(10).link_count() == 45
+
+    def test_average_hops_is_one(self):
+        assert FullyConnected(6).average_hops() == pytest.approx(1.0)
+
+
+class TestResolve:
+    def test_by_name(self):
+        assert isinstance(resolve_topology("mesh", 16), Mesh2D)
+        assert isinstance(resolve_topology("TORUS", 16), Torus2D)
+        assert isinstance(resolve_topology("crossbar", 16), FullyConnected)
+
+    def test_by_class(self):
+        assert isinstance(resolve_topology(Ring, 8), Ring)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            resolve_topology("butterfly", 16)
+
+    def test_hypercube_resolvable(self):
+        assert isinstance(resolve_topology("hypercube", 16), Hypercube)
+
+    def test_bad_spec_type(self):
+        with pytest.raises(TypeError):
+            resolve_topology(42, 16)  # type: ignore[arg-type]

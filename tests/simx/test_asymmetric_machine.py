@@ -1,0 +1,101 @@
+"""Tests for heterogeneous (ACMP) machine simulation."""
+
+import pytest
+
+from repro.simx import Compute, Machine, MachineConfig, ThreadTrace, TraceProgram
+from repro.simx.config import CacheConfig
+
+
+def small_caches():
+    return dict(
+        l1d=CacheConfig(size=16 * 64, ways=4),
+        l1i=CacheConfig(size=16 * 64, ways=4),
+        l2=CacheConfig(size=256 * 64, ways=8, hit_latency=12),
+    )
+
+
+class TestConfig:
+    def test_asymmetric_builder(self):
+        cfg = MachineConfig.asymmetric(rl=16, n_small=8, r=1)
+        assert cfg.n_cores == 9
+        assert cfg.perf_factor(0) == pytest.approx(4.0)   # sqrt(16)
+        assert cfg.perf_factor(1) == pytest.approx(1.0)
+
+    def test_asymmetric_with_bigger_small_cores(self):
+        cfg = MachineConfig.asymmetric(rl=64, n_small=4, r=4)
+        assert cfg.perf_factor(0) == pytest.approx(8.0)
+        assert cfg.perf_factor(3) == pytest.approx(2.0)
+
+    def test_homogeneous_default_factor(self):
+        assert MachineConfig.baseline().perf_factor(5) == 1.0
+
+    def test_factor_count_validated(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_cores=4, core_perf_factors=(2.0, 1.0))
+
+    def test_factor_positivity_validated(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_cores=2, core_perf_factors=(1.0, -1.0))
+
+    def test_large_core_at_least_small(self):
+        with pytest.raises(ValueError):
+            MachineConfig.asymmetric(rl=1, n_small=2, r=4)
+
+
+class TestTiming:
+    def test_big_core_computes_faster(self):
+        cfg = MachineConfig(
+            n_cores=2, core_perf_factors=(4.0, 1.0), **small_caches()
+        )
+        prog = TraceProgram(
+            "p",
+            [ThreadTrace(0, [Compute(8000)]), ThreadTrace(1, [Compute(8000)])],
+        )
+        res = Machine(cfg).run(prog)
+        t_big, t_small = res.thread_cycles
+        assert t_small == pytest.approx(4 * t_big, rel=0.01)
+
+    def test_memory_latency_not_scaled(self):
+        from repro.simx import Load
+
+        cfg = MachineConfig(
+            n_cores=2, core_perf_factors=(4.0, 1.0), **small_caches()
+        )
+        prog = TraceProgram(
+            "p",
+            [ThreadTrace(0, [Load(0)]), ThreadTrace(1, [Load(0x100000)])],
+        )
+        res = Machine(cfg).run(prog)
+        # both cold misses cost the same: wires don't care about core size
+        assert res.thread_cycles[0] == res.thread_cycles[1]
+
+
+class TestAcmpWorkload:
+    """Simulated ACMP vs symmetric CMP on a real workload: the serial
+    sections (thread 0 = the big core) speed up, validating the structure
+    Eq 5 assumes."""
+
+    @pytest.fixture(scope="class")
+    def breakdowns(self):
+        from repro.workloads.datasets import make_blobs
+        from repro.workloads.instrument import breakdown_from_simulation
+        from repro.workloads.kmeans import KMeansWorkload
+        from repro.workloads.tracegen import program_from_execution
+
+        wl = KMeansWorkload(
+            make_blobs(1200, 6, 4, seed=4), max_iterations=3, tolerance=1e-12
+        )
+        prog = program_from_execution(wl.execute(8), mem_scale=4)
+        sym = Machine(MachineConfig.baseline(n_cores=8)).run(prog)
+        prog2 = program_from_execution(wl.execute(8), mem_scale=4)
+        acmp = Machine(MachineConfig.asymmetric(rl=16, n_small=7, r=1)).run(prog2)
+        return breakdown_from_simulation(sym), breakdown_from_simulation(acmp)
+
+    def test_acmp_shrinks_serial_sections(self, breakdowns):
+        sym, acmp = breakdowns
+        assert acmp.reduction < sym.reduction
+        assert acmp.init + acmp.serial < sym.init + sym.serial
+
+    def test_acmp_total_time_improves(self, breakdowns):
+        sym, acmp = breakdowns
+        assert acmp.total < sym.total

@@ -1,0 +1,71 @@
+"""Tests for the arbitrated (contended) bus."""
+
+import pytest
+
+from repro.simx import Load, Machine, MachineConfig, ThreadTrace, TraceProgram
+from repro.simx.config import CacheConfig
+from repro.simx.interconnect import ContendedBus
+
+
+def config(occupancy: int, n_cores: int = 8) -> MachineConfig:
+    return MachineConfig(
+        n_cores=n_cores,
+        bus_occupancy=occupancy,
+        l1d=CacheConfig(size=16 * 64, ways=4),
+        l1i=CacheConfig(size=16 * 64, ways=4),
+        l2=CacheConfig(size=512 * 64, ways=8, hit_latency=12),
+    )
+
+
+class TestContendedBus:
+    def test_back_to_back_requests_queue(self):
+        bus = ContendedBus(latency=4, occupancy=10)
+        first = bus.request_latency(0, 0, now=0)
+        second = bus.request_latency(1, 1, now=0)
+        assert first == 4
+        assert second == 14  # waits out the first transaction's occupancy
+
+    def test_spaced_requests_do_not_queue(self):
+        bus = ContendedBus(latency=4, occupancy=10)
+        bus.request_latency(0, 0, now=0)
+        assert bus.request_latency(1, 1, now=100) == 4
+
+    def test_statistics(self):
+        bus = ContendedBus(latency=4, occupancy=10)
+        bus.request_latency(0, 0, now=0)
+        bus.request_latency(1, 1, now=0)
+        assert bus.transactions == 2
+        assert bus.queued_cycles == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContendedBus(latency=4, occupancy=0)
+
+
+class TestMachineWithContention:
+    def _miss_storm(self, occupancy: int, n_threads: int) -> int:
+        """Every thread issues cold misses simultaneously."""
+        threads = [
+            ThreadTrace(tid, [Load((tid * 1000 + i) * 64) for i in range(32)])
+            for tid in range(n_threads)
+        ]
+        m = Machine(config(occupancy, n_cores=n_threads))
+        return m.run(TraceProgram("storm", threads)).total_cycles
+
+    def test_contention_slows_parallel_miss_storms(self):
+        assert self._miss_storm(8, 8) > self._miss_storm(0, 8)
+
+    def test_single_thread_barely_affected(self):
+        # one core's misses never overlap with anyone: occupancy only
+        # matters between consecutive own requests, which are spaced by
+        # the miss latency itself
+        free = self._miss_storm(0, 1)
+        contended = self._miss_storm(8, 1)
+        assert contended <= free * 1.05
+
+    def test_contention_grows_with_core_count(self):
+        # the queueing penalty is superlinear in the number of
+        # simultaneously missing cores
+        penalty_2 = self._miss_storm(8, 2) - self._miss_storm(0, 2)
+        penalty_8 = self._miss_storm(8, 8) - self._miss_storm(0, 8)
+        assert penalty_8 > penalty_2

@@ -1,0 +1,89 @@
+"""Property tests: the simulator is deterministic and scheduling-stable."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simx import (
+    Barrier,
+    Compute,
+    Load,
+    Machine,
+    MachineConfig,
+    Store,
+    ThreadTrace,
+    TraceProgram,
+)
+from repro.simx.config import CacheConfig
+
+
+def tiny_machine(n_cores=4) -> Machine:
+    return Machine(MachineConfig(
+        n_cores=n_cores,
+        l1d=CacheConfig(size=16 * 64, ways=4),
+        l1i=CacheConfig(size=16 * 64, ways=4),
+        l2=CacheConfig(size=256 * 64, ways=8, hit_latency=12),
+    ))
+
+
+@st.composite
+def random_programs(draw):
+    n_threads = draw(st.integers(min_value=1, max_value=4))
+    n_barriers = draw(st.integers(min_value=0, max_value=3))
+    threads = []
+    for tid in range(n_threads):
+        ops = []
+        for b in range(n_barriers + 1):
+            for _ in range(draw(st.integers(min_value=0, max_value=8))):
+                kind = draw(st.sampled_from(["c", "l", "s"]))
+                if kind == "c":
+                    ops.append(Compute(draw(st.integers(min_value=1, max_value=500))))
+                elif kind == "l":
+                    ops.append(Load(draw(st.integers(min_value=0, max_value=63)) * 64))
+                else:
+                    ops.append(Store(draw(st.integers(min_value=0, max_value=63)) * 64))
+            if b < n_barriers:
+                ops.append(Barrier(b))
+        threads.append(ops)
+    return threads
+
+
+class TestDeterminism:
+    @settings(max_examples=30, deadline=None)
+    @given(threads=random_programs())
+    def test_identical_runs_identical_cycles(self, threads):
+        def run():
+            prog = TraceProgram(
+                "p", [ThreadTrace(i, list(ops)) for i, ops in enumerate(threads)]
+            )
+            return tiny_machine().run(prog)
+
+        a, b = run(), run()
+        assert a.total_cycles == b.total_cycles
+        assert a.thread_cycles == b.thread_cycles
+        assert a.coherence.l1_misses == b.coherence.l1_misses
+        assert a.coherence.cache_to_cache == b.coherence.cache_to_cache
+
+    @settings(max_examples=30, deadline=None)
+    @given(threads=random_programs())
+    def test_total_cycles_at_least_per_thread_busy(self, threads):
+        prog = TraceProgram(
+            "p", [ThreadTrace(i, list(ops)) for i, ops in enumerate(threads)]
+        )
+        res = tiny_machine().run(prog)
+        assert res.total_cycles == max(res.thread_cycles, default=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        work=st.lists(st.integers(min_value=100, max_value=2000), min_size=2, max_size=4),
+    )
+    def test_barrier_release_simultaneous(self, work):
+        threads = [
+            [Compute(w), Barrier(0), Compute(100)] for w in work
+        ]
+        prog = TraceProgram(
+            "p", [ThreadTrace(i, ops) for i, ops in enumerate(threads)]
+        )
+        res = tiny_machine().run(prog)
+        # all threads end at the same time: equal post-barrier work
+        assert len(set(res.thread_cycles)) == 1

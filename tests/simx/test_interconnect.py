@@ -1,0 +1,60 @@
+"""Unit tests for the interconnect timing models."""
+
+import pytest
+
+from repro.simx.config import MachineConfig
+from repro.simx.interconnect import (
+    BusInterconnect,
+    MeshInterconnect,
+    build_interconnect,
+)
+
+
+class TestBus:
+    def test_fixed_latency(self):
+        bus = BusInterconnect(4)
+        assert bus.request_latency(0, 12345) == 4
+        assert bus.request_latency(7, 0) == 4
+
+    def test_core_to_core(self):
+        bus = BusInterconnect(4)
+        assert bus.core_to_core_latency(0, 1) == 4
+        assert bus.core_to_core_latency(3, 3) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BusInterconnect(-1)
+
+
+class TestMesh:
+    def test_home_bank_distribution(self):
+        mesh = MeshInterconnect(16, hop_latency=2)
+        banks = {mesh.home_bank(line) for line in range(64)}
+        assert banks == set(range(16))  # all banks used
+
+    def test_local_bank_is_free(self):
+        mesh = MeshInterconnect(16, hop_latency=2)
+        # line 0 homes at tile 0; requests from tile 0 take zero hops
+        assert mesh.request_latency(0, 0) == 0
+
+    def test_distance_scales_latency(self):
+        mesh = MeshInterconnect(16, hop_latency=2)  # 4x4
+        # tile 15 is 6 hops from tile 0 → 2 * 6 * 2 = 24
+        assert mesh.request_latency(15, 0) == 24
+
+    def test_core_to_core_uses_hops(self):
+        mesh = MeshInterconnect(16, hop_latency=3)
+        assert mesh.core_to_core_latency(0, 15) == 6 * 3
+        assert mesh.core_to_core_latency(5, 5) == 0
+
+
+class TestBuild:
+    def test_builds_from_config(self):
+        assert isinstance(
+            build_interconnect(MachineConfig.baseline(interconnect="bus")),
+            BusInterconnect,
+        )
+        assert isinstance(
+            build_interconnect(MachineConfig.baseline(interconnect="mesh")),
+            MeshInterconnect,
+        )

@@ -1,0 +1,78 @@
+"""Tests for per-phase coherence-event attribution."""
+
+import pytest
+
+from repro.simx import (
+    Load,
+    Machine,
+    MachineConfig,
+    PhaseBegin,
+    PhaseEnd,
+    Store,
+    ThreadTrace,
+    TraceProgram,
+)
+from repro.simx.config import CacheConfig
+
+
+def machine(n_cores=4) -> Machine:
+    return Machine(MachineConfig(
+        n_cores=n_cores,
+        l1d=CacheConfig(size=32 * 64, ways=4),
+        l1i=CacheConfig(size=32 * 64, ways=4),
+        l2=CacheConfig(size=512 * 64, ways=8, hit_latency=12),
+    ))
+
+
+class TestAttribution:
+    def test_events_split_by_phase(self):
+        ops = [
+            PhaseBegin("a"), Load(0), Load(64), PhaseEnd("a"),
+            PhaseBegin("b"), Load(0), PhaseEnd("b"),  # L1 hit in phase b
+        ]
+        res = machine(1).run(TraceProgram("p", [ThreadTrace(0, ops)]))
+        a = res.phase_coherence("a")
+        b = res.phase_coherence("b")
+        assert a.l1_misses == 2 and a.memory_fetches == 2
+        assert b.l1_hits == 1 and b.l1_misses == 0
+
+    def test_totals_match_global_counters(self):
+        ops = [PhaseBegin("x")] + [Load(i * 64) for i in range(20)] + \
+              [Store(i * 64) for i in range(20)] + [PhaseEnd("x")]
+        res = machine(1).run(TraceProgram("p", [ThreadTrace(0, ops)]))
+        x = res.phase_coherence("x")
+        assert x.reads == res.coherence.reads
+        assert x.writes == res.coherence.writes
+        assert x.memory_fetches == res.coherence.memory_fetches
+
+    def test_unknown_phase_returns_zeros(self):
+        res = machine(1).run(TraceProgram("p", [ThreadTrace(0, [Load(0)])]))
+        assert res.phase_coherence("nope").reads == 0
+
+
+class TestMergePhaseCoherence:
+    """The mechanical heart of the paper: merge-phase coherence misses
+    grow with the thread count."""
+
+    @staticmethod
+    def _merge_events(p: int):
+        from repro.workloads.datasets import make_blobs
+        from repro.workloads.kmeans import KMeansWorkload
+        from repro.workloads.tracegen import program_from_execution
+
+        wl = KMeansWorkload(
+            make_blobs(800, 6, 4, seed=4), max_iterations=2, tolerance=1e-12
+        )
+        prog = program_from_execution(wl.execute(p), mem_scale=2)
+        res = Machine(MachineConfig.baseline(n_cores=16)).run(prog)
+        return res.phase_coherence("reduction")
+
+    def test_merge_cache_to_cache_grows_with_threads(self):
+        e2 = self._merge_events(2)
+        e8 = self._merge_events(8)
+        assert e8.cache_to_cache > e2.cache_to_cache
+
+    def test_single_thread_merge_has_no_transfers(self):
+        e1 = self._merge_events(1)
+        assert e1.cache_to_cache == 0
+        assert e1.invalidations == 0

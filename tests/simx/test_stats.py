@@ -1,0 +1,68 @@
+"""Direct unit tests for per-phase cycle accounting."""
+
+from repro.simx.stats import PhaseStats
+
+
+class TestBusyAndWait:
+    def test_accumulates_per_thread(self):
+        s = PhaseStats()
+        s.add_busy("p", 0, 100)
+        s.add_busy("p", 0, 50)
+        s.add_busy("p", 1, 30)
+        assert s.busy_cycles("p", 0) == 150
+        assert s.busy_cycles("p", 1) == 30
+        assert s.busy_cycles("p") == 180
+
+    def test_zero_cycles_not_recorded(self):
+        s = PhaseStats()
+        s.add_busy("p", 0, 0)
+        s.add_wait("p", 0, 0)
+        assert "p" not in s.busy
+        assert "p" not in s.wait
+
+    def test_wait_separate_from_busy(self):
+        s = PhaseStats()
+        s.add_busy("p", 0, 10)
+        s.add_wait("p", 0, 99)
+        assert s.busy_cycles("p") == 10
+        assert s.wait_cycles("p") == 99
+
+    def test_unknown_phase_is_zero(self):
+        s = PhaseStats()
+        assert s.busy_cycles("nothing") == 0
+        assert s.wait_cycles("nothing", 3) == 0
+
+
+class TestSpans:
+    def test_span_covers_begin_to_end(self):
+        s = PhaseStats()
+        s.note_begin("p", 100)
+        s.note_end("p", 500)
+        assert s.span_cycles("p") == 400
+
+    def test_span_widens_across_threads(self):
+        s = PhaseStats()
+        s.note_begin("p", 200)
+        s.note_begin("p", 100)   # earlier thread
+        s.note_end("p", 350)
+        s.note_end("p", 400)
+        assert s.span_cycles("p") == 300
+
+    def test_missing_phase_span_zero(self):
+        assert PhaseStats().span_cycles("x") == 0
+
+
+class TestQueries:
+    def test_phases_sorted_union(self):
+        s = PhaseStats()
+        s.add_busy("b", 0, 1)
+        s.add_wait("a", 0, 1)
+        s.note_begin("c", 0)
+        assert s.phases() == ["a", "b", "c"]
+
+    def test_merge_thread_busy_is_a_copy(self):
+        s = PhaseStats()
+        s.add_busy("p", 0, 5)
+        copy = s.merge_thread_busy("p")
+        copy[0] = 999
+        assert s.busy_cycles("p", 0) == 5

@@ -1,0 +1,111 @@
+"""Exact-cycle contract tests: hand-computed scenarios pin the timing
+model so latency changes are deliberate, not accidental."""
+
+import pytest
+
+from repro.simx import (
+    Compute,
+    Load,
+    Machine,
+    MachineConfig,
+    Store,
+    ThreadTrace,
+    TraceProgram,
+)
+from repro.simx.config import CacheConfig
+
+
+def config(**kw) -> MachineConfig:
+    return MachineConfig(
+        n_cores=kw.pop("n_cores", 2),
+        l1d=CacheConfig(size=32 * 64, ways=4, hit_latency=2),
+        l1i=CacheConfig(size=32 * 64, ways=4, hit_latency=2),
+        l2=CacheConfig(size=512 * 64, ways=8, hit_latency=12),
+        memory_latency=120,
+        remote_l1_latency=40,
+        invalidation_latency=12,
+        bus_latency=4,
+        **kw,
+    )
+
+
+def run_single(ops) -> int:
+    return Machine(config(n_cores=1)).run(
+        TraceProgram("t", [ThreadTrace(0, ops)])
+    ).total_cycles
+
+
+class TestComputeTiming:
+    def test_exact_ipc_division(self):
+        # 1000 instructions at effective IPC 2.0 → 500 cycles
+        assert run_single([Compute(1000)]) == 500
+
+    def test_ceiling_rounding(self):
+        assert run_single([Compute(3)]) == 2  # ceil(3/2)
+
+    def test_zero_instructions_free(self):
+        assert run_single([Compute(0)]) == 0
+
+
+class TestMemoryTiming:
+    def test_cold_read_cost(self):
+        # L1 hit latency + bus + L2 hit + memory = 2 + 4 + 12 + 120 = 138
+        assert run_single([Load(0)]) == 138
+
+    def test_l1_hit_cost(self):
+        # second access: exactly the L1 hit latency
+        assert run_single([Load(0), Load(0)]) == 138 + 2
+
+    def test_l2_hit_after_l1_eviction(self):
+        # fill set 0 (4 ways: lines 0,32,64,96 map to set 0 of 32 sets),
+        # then one more to evict line 0; refetching line 0 hits L2:
+        # 2 + 4 + 12 = 18
+        ops = [Load(i * 32 * 64) for i in range(5)]  # lines 0,32,...,128
+        ops.append(Load(0))
+        total = run_single(ops)
+        assert total == 5 * 138 + 18
+
+    def test_cold_write_cost_equals_cold_read(self):
+        # write miss: RFO fetch = same hierarchy path
+        assert run_single([Store(0)]) == 138
+
+
+class TestCoherenceTiming:
+    def test_cache_to_cache_read_cost(self):
+        # core 1 reads a line core 0 holds Modified:
+        # 2 (L1 probe) + 4 (bus) + 40 (remote L1) + 4 (c2c transfer) = 50
+        from repro.simx.coherence import CoherenceController
+
+        c = CoherenceController(config())
+        c.write(0, 0)
+        assert c.read(1, 0) == 50
+
+    def test_upgrade_cost_per_sharer(self):
+        from repro.simx.coherence import CoherenceController
+
+        c = CoherenceController(config(n_cores=4))
+        for core in range(4):
+            c.read(core, 0)
+        # upgrade by core 0: 2 + 4 + 3 sharers × 12 = 42
+        assert c.write(0, 0) == 2 + 4 + 3 * 12
+
+    def test_silent_exclusive_upgrade_is_just_a_hit(self):
+        from repro.simx.coherence import CoherenceController
+
+        c = CoherenceController(config())
+        c.read(0, 0)          # E
+        assert c.write(0, 0) == 2
+
+
+class TestBarrierTiming:
+    def test_release_time_exact(self):
+        from repro.simx.trace import Barrier
+
+        cfg = config(n_cores=2)
+        prog = TraceProgram("b", [
+            ThreadTrace(0, [Compute(1000), Barrier(0)]),   # arrives at 500
+            ThreadTrace(1, [Compute(100), Barrier(0)]),    # arrives at 50
+        ])
+        res = Machine(cfg).run(prog)
+        # both released at max(500, 50) + barrier_release_latency(10) = 510
+        assert res.thread_cycles == (510, 510)

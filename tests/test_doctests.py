@@ -1,0 +1,15 @@
+"""Run the doctest examples embedded in the package docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core
+
+
+@pytest.mark.parametrize("module", [repro, repro.core])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

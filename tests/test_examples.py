@@ -1,0 +1,59 @@
+"""Keep the examples runnable: execute each script end to end.
+
+The fast scripts run as-is; the simulator-heavy ones run in their --fast /
+reduced configurations so the suite stays quick.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: "list[str] | None" = None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "36.2" in out and "43.3" in out
+
+    def test_design_space_exploration(self, capsys):
+        run_example("design_space_exploration.py")
+        out = capsys.readouterr().out
+        assert "Pareto front" in out
+        assert "crossbar" in out
+
+    def test_custom_workload(self, capsys):
+        run_example("custom_workload.py")
+        out = capsys.readouterr().out
+        assert "numeric check passed" in out
+
+    @pytest.mark.slow
+    def test_characterize_workload_fast_mode(self, capsys):
+        run_example("characterize_workload.py", ["--fast"])
+        out = capsys.readouterr().out
+        assert "extracted parameters" in out
+        assert "peak" in out
+
+    @pytest.mark.slow
+    def test_reduction_strategies(self, capsys):
+        run_example("reduction_strategies.py")
+        out = capsys.readouterr().out
+        assert "peak" in out and "tree merge" in out
+
+    @pytest.mark.slow
+    def test_simulated_chip_design(self, capsys):
+        run_example("simulated_chip_design.py")
+        out = capsys.readouterr().out
+        assert "conclusion (b)" in out and "conclusion (c)" in out

@@ -1,0 +1,58 @@
+"""Public-API consistency: __all__ names exist, modules import cleanly."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if name != "repro.__main__"  # importing it runs the CLI
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_every_module_imports(self, module_name):
+        importlib.import_module(module_name)
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_all_names_resolve(self, module_name):
+        mod = importlib.import_module(module_name)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module_name}.__all__ lists missing {name!r}"
+
+    def test_top_level_all(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+
+class TestRegistryConsistency:
+    def test_every_experiment_callable_and_documented(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        for eid, fn in EXPERIMENTS.items():
+            assert callable(fn), eid
+            assert fn.__doc__, f"experiment {eid} driver lacks a docstring"
+
+    def test_make_experiments_md_covers_registry(self):
+        """Every registered experiment (except the roll-up aliases) is
+        tracked by the EXPERIMENTS.md generator."""
+        import re
+        from pathlib import Path
+
+        from repro.experiments.registry import EXPERIMENTS
+
+        script = Path(__file__).resolve().parent.parent / "scripts" / "make_experiments_md.py"
+        tracked = set(re.findall(r'\("([a-z0-9-]+)",\s*"', script.read_text()))
+        rollups = {"ablations"}  # aggregates the ablation-* ids
+        missing = set(EXPERIMENTS) - tracked - rollups
+        assert not missing, f"experiments not tracked by make_experiments_md: {missing}"

@@ -1,0 +1,63 @@
+"""Unit tests for report chart rendering."""
+
+from repro.experiments.report import ExperimentReport
+from repro.util.tables import TextTable
+from repro.viz.report_plots import chartable_tables, render_report_charts
+
+
+def report_with(tables) -> ExperimentReport:
+    r = ExperimentReport("demo", "Demo")
+    for t in tables:
+        r.add_table(t)
+    return r
+
+
+def series_table_fixture() -> TextTable:
+    t = TextTable(title="series", columns=["x", "a", "b"])
+    for x in (1, 2, 4, 8):
+        t.add_row([x, float(x), float(2 * x)])
+    return t
+
+
+def text_table_fixture() -> TextTable:
+    t = TextTable(title="config", columns=["param", "value"])
+    t.add_row(["cache", "4M"])
+    t.add_row(["cores", "16"])
+    t.add_row(["pred", "GAp"])
+    return t
+
+
+class TestChartable:
+    def test_series_table_detected(self):
+        r = report_with([series_table_fixture()])
+        assert len(chartable_tables(r)) == 1
+
+    def test_text_table_skipped(self):
+        r = report_with([text_table_fixture()])
+        assert chartable_tables(r) == []
+
+    def test_short_table_skipped(self):
+        t = TextTable(title="short", columns=["x", "y"])
+        t.add_row([1, 2.0])
+        t.add_row([2, 3.0])
+        assert chartable_tables(report_with([t])) == []
+
+    def test_mixed_report(self):
+        r = report_with([text_table_fixture(), series_table_fixture()])
+        assert len(chartable_tables(r)) == 1
+
+
+class TestRender:
+    def test_renders_chart_with_legend(self):
+        out = render_report_charts(report_with([series_table_fixture()]))
+        assert "series" in out
+        assert "* a" in out and "o b" in out
+
+    def test_empty_when_nothing_chartable(self):
+        assert render_report_charts(report_with([text_table_fixture()])) == ""
+
+    def test_real_experiment_charts(self):
+        from repro.experiments import run_experiment
+
+        out = render_report_charts(run_experiment("fig4"))
+        assert "Fig 4(a)" in out and "Fig 4(d)" in out

@@ -1,0 +1,79 @@
+"""Hypothesis property tests for the parameter-extraction pipeline."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.instrument import (
+    PhaseBreakdown,
+    extract_parameters,
+    serial_growth_curve,
+    speedup_curve,
+)
+
+
+@st.composite
+def model_consistent_breakdowns(draw):
+    """Breakdowns generated exactly by the paper's model, with random
+    parameters — extraction must invert them."""
+    total1 = draw(st.floats(min_value=1e5, max_value=1e8))
+    serial_frac = draw(st.floats(min_value=1e-4, max_value=0.2))
+    fcon_share = draw(st.floats(min_value=0.05, max_value=0.95))
+    fored = draw(st.floats(min_value=0.05, max_value=2.0))
+    alpha = draw(st.floats(min_value=0.6, max_value=1.6))
+    serial1 = total1 * serial_frac
+    fcon = serial1 * fcon_share
+    fcred = serial1 - fcon
+    parallel1 = total1 - serial1
+    out = {}
+    for p in (1, 2, 4, 8, 16):
+        red = fcred * (1 + fored * (p - 1) ** alpha)
+        out[p] = PhaseBreakdown(
+            n_threads=p, total=parallel1 / p + fcon + red,
+            init=fcon / 2, parallel=parallel1 / p, reduction=red, serial=fcon / 2,
+        )
+    return out, dict(
+        serial_frac=serial_frac, fcon_share=fcon_share, fored=fored, alpha=alpha
+    )
+
+
+class TestExtractionRoundtrip:
+    @settings(max_examples=60, deadline=None)
+    @given(data=model_consistent_breakdowns())
+    def test_recovers_generating_parameters(self, data):
+        breakdowns, truth = data
+        ep = extract_parameters(breakdowns, "synthetic")
+        assert ep.serial_pct / 100 == pytest_approx(truth["serial_frac"])
+        assert ep.fcon_share == pytest_approx(truth["fcon_share"])
+        assert ep.fored_rel == pytest_approx(truth["fored"], rel=0.02)
+        assert abs(ep.growth_alpha - truth["alpha"]) < 0.02
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=model_consistent_breakdowns())
+    def test_curves_well_formed(self, data):
+        breakdowns, _ = data
+        growth = serial_growth_curve(breakdowns)
+        speedup = speedup_curve(breakdowns)
+        assert growth[1] == pytest_approx(1.0)
+        assert speedup[1] == pytest_approx(1.0)
+        values = [growth[p] for p in sorted(growth)]
+        assert values == sorted(values)  # growth is monotone by model
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=model_consistent_breakdowns())
+    def test_roundtrip_through_measured_params(self, data):
+        """extract → MeasuredParams → re-predict serial time == input."""
+        from repro.core import measured as mm
+
+        breakdowns, _ = data
+        mp = extract_parameters(breakdowns, "x").to_measured_params()
+        measured_growth = serial_growth_curve(breakdowns)
+        for p in (2, 4, 8, 16):
+            predicted = float(mm.serial_time_normalised(mp, p))
+            assert predicted == pytest_approx(measured_growth[p], rel=0.05)
+
+
+def pytest_approx(value, rel=1e-3):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

@@ -1,0 +1,97 @@
+"""Unit tests for the HOP workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import PHASE_PARALLEL, PHASE_REDUCTION
+from repro.workloads.datasets import make_particles
+from repro.workloads.hop import HopWorkload
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_particles(1500, n_halos=5, seed=9, background_fraction=0.25)
+
+
+class TestNumerics:
+    def test_finds_plausible_group_count(self, dataset):
+        ex = HopWorkload(dataset, n_neighbors=12).execute(1)
+        n_groups = ex.outputs["n_groups"]
+        # HOP finds density maxima: at least the halos, not thousands
+        assert 1 <= n_groups <= dataset.n_particles // 10
+
+    def test_groups_independent_of_thread_count(self, dataset):
+        wl = HopWorkload(dataset, n_neighbors=12)
+        g1 = wl.execute(1).outputs["groups"]
+        g8 = wl.execute(8).outputs["groups"]
+        assert np.array_equal(g1, g8)
+
+    def test_background_particles_ungrouped(self, dataset):
+        ex = HopWorkload(dataset, n_neighbors=12, density_threshold_quantile=0.3).execute(1)
+        groups = ex.outputs["groups"]
+        assert (groups == -1).sum() >= int(0.29 * dataset.n_particles)
+
+    def test_density_positive(self, dataset):
+        ex = HopWorkload(dataset, n_neighbors=8).execute(1)
+        assert np.all(ex.outputs["density"] > 0)
+
+    def test_roots_are_fixed_points(self, dataset):
+        ex = HopWorkload(dataset, n_neighbors=12).execute(1)
+        roots = ex.outputs["roots"]
+        assert np.array_equal(roots[roots], roots)
+
+    def test_dense_halo_members_share_groups(self, dataset):
+        # particles in the same tight halo should mostly agree on a group
+        ex = HopWorkload(dataset, n_neighbors=12).execute(1)
+        groups = ex.outputs["groups"]
+        grouped = groups[groups >= 0]
+        # the biggest group holds a sensible share of grouped particles
+        counts = np.bincount(grouped)
+        assert counts.max() > len(grouped) / (5 * 4)
+
+
+class TestPhaseStructure:
+    def test_single_pass(self, dataset):
+        ex = HopWorkload(dataset, n_neighbors=8).execute(2)
+        assert ex.n_iterations == 1
+
+    def test_tree_phase_does_not_scale_perfectly(self, dataset):
+        # per-thread tree work at p=8 is more than 1/8 of the p=1 work
+        def tree_instr(p):
+            ex = HopWorkload(dataset, n_neighbors=8).execute(p)
+            w = next(x for x in ex.phases if x.phase == PHASE_PARALLEL)
+            return w.per_thread_instructions[0]
+
+        assert tree_instr(8) > tree_instr(1) / 8 * 1.2
+
+    def test_merge_entries_grow_with_threads(self, dataset):
+        def table_entries(p):
+            return HopWorkload(dataset, n_neighbors=12).execute(p).outputs[
+                "table_entries"
+            ]
+
+        assert table_entries(8) > table_entries(2)
+
+    def test_cross_edges_grow_with_threads(self, dataset):
+        wl = HopWorkload(dataset, n_neighbors=12)
+        e2 = wl.execute(2).outputs["cross_edges"]
+        e8 = wl.execute(8).outputs["cross_edges"]
+        assert e8 >= e2
+
+    def test_reduction_is_master_only(self, dataset):
+        ex = HopWorkload(dataset, n_neighbors=8).execute(4)
+        red = next(w for w in ex.phases if w.phase == PHASE_REDUCTION)
+        assert red.per_thread_instructions[0] > 0
+        assert all(i == 0 for i in red.per_thread_instructions[1:])
+        assert red.shared_reads[0] > 0
+
+
+class TestValidation:
+    def test_rejects_too_many_neighbors(self):
+        tiny = make_particles(10, n_halos=1, seed=0)
+        with pytest.raises(ValueError):
+            HopWorkload(tiny, n_neighbors=10)
+
+    def test_rejects_bad_quantile(self, dataset):
+        with pytest.raises(ValueError):
+            HopWorkload(dataset, density_threshold_quantile=1.0)

@@ -1,0 +1,132 @@
+"""Unit tests for parameter extraction."""
+
+import pytest
+
+from repro.workloads.instrument import (
+    ExtractedParams,
+    PhaseBreakdown,
+    extract_parameters,
+    serial_growth_curve,
+    speedup_curve,
+)
+
+
+def synthetic_breakdowns(
+    total1=1_000_000.0, fcon=600.0, fcred=400.0, fored=0.7, alpha=1.0,
+    ps=(1, 2, 4, 8, 16),
+):
+    """Breakdowns following the paper's model exactly: reduction(p) =
+    fcred·(1 + fored·(p−1)^alpha), parallel scales linearly."""
+    parallel1 = total1 - fcon - fcred
+    out = {}
+    for p in ps:
+        red = fcred * (1 + fored * (p - 1) ** alpha)
+        par = parallel1 / p
+        out[p] = PhaseBreakdown(
+            n_threads=p,
+            total=par + fcon + red,
+            init=fcon / 2,
+            parallel=par,
+            reduction=red,
+            serial=fcon / 2,
+        )
+    return out
+
+
+class TestExtraction:
+    def test_recovers_exact_linear_parameters(self):
+        b = synthetic_breakdowns(fored=0.72, alpha=1.0)
+        ep = extract_parameters(b, "synthetic")
+        assert ep.fored_rel == pytest.approx(0.72, rel=1e-6)
+        assert ep.growth_alpha == pytest.approx(1.0, abs=1e-6)
+        assert ep.fcon_share == pytest.approx(0.6, rel=1e-9)
+        assert ep.fred_share == pytest.approx(0.4, rel=1e-9)
+        assert ep.serial_pct == pytest.approx(0.1, rel=1e-9)
+
+    def test_recovers_superlinear_alpha(self):
+        b = synthetic_breakdowns(fored=1.5, alpha=1.3)
+        ep = extract_parameters(b, "hoplike")
+        assert ep.growth_alpha == pytest.approx(1.3, abs=0.01)
+        assert ep.fored_rel == pytest.approx(1.5, rel=0.02)
+
+    def test_flat_reduction_yields_zero_overhead(self):
+        b = synthetic_breakdowns(fored=0.0)
+        ep = extract_parameters(b, "flat")
+        assert ep.fored_rel == 0.0
+
+    def test_no_reduction_degenerates_gracefully(self):
+        b = {
+            p: PhaseBreakdown(
+                n_threads=p, total=1000.0 / p + 10, init=5, parallel=1000.0 / p,
+                reduction=0.0, serial=5,
+            )
+            for p in (1, 2, 4)
+        }
+        ep = extract_parameters(b, "amdahl")
+        assert ep.fred_share == 0.0
+        assert ep.fcon_share == 1.0
+
+    def test_requires_single_core_point(self):
+        b = synthetic_breakdowns(ps=(2, 4))
+        with pytest.raises(ValueError):
+            extract_parameters(b)
+
+    def test_requires_multicore_point(self):
+        b = synthetic_breakdowns(ps=(1,))
+        with pytest.raises(ValueError):
+            extract_parameters(b)
+
+    def test_single_multicore_point_fits_linear(self):
+        b = synthetic_breakdowns(fored=0.5, ps=(1, 4))
+        ep = extract_parameters(b)
+        assert ep.fored_rel == pytest.approx(0.5, rel=1e-6)
+        assert ep.growth_alpha == 1.0
+
+    def test_roundtrip_to_measured_params(self):
+        ep = extract_parameters(synthetic_breakdowns(fored=0.72))
+        mp = ep.to_measured_params()
+        assert mp.fored_rel == pytest.approx(0.72, rel=1e-6)
+        assert mp.fcon_share + mp.fred_share == pytest.approx(1.0)
+
+
+class TestCurves:
+    def test_serial_growth_normalised_to_one(self):
+        b = synthetic_breakdowns()
+        curve = serial_growth_curve(b)
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[16] > curve[2] > 1.0
+
+    def test_speedup_curve(self):
+        b = synthetic_breakdowns()
+        sp = speedup_curve(b)
+        assert sp[1] == pytest.approx(1.0)
+        assert sp[16] > sp[4] > 1.0
+        assert sp[16] < 16.0  # growing serial section caps it
+
+    def test_curves_require_base_point(self):
+        b = synthetic_breakdowns(ps=(2, 4))
+        with pytest.raises(ValueError):
+            serial_growth_curve(b)
+        with pytest.raises(ValueError):
+            speedup_curve(b)
+
+
+class TestPhaseBreakdownValidation:
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            PhaseBreakdown(
+                n_threads=1, total=-1.0, init=0, parallel=0, reduction=0, serial=0
+            )
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            PhaseBreakdown(
+                n_threads=0, total=1.0, init=0, parallel=1, reduction=0, serial=0
+            )
+
+    def test_serial_sections_sum(self):
+        b = PhaseBreakdown(
+            n_threads=2, total=100, init=3, parallel=90, reduction=5, serial=2
+        )
+        assert b.serial_sections == 10
+        assert b.constant_serial == 5
