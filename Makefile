@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test test-fast bench experiments full-scale examples clean
+.PHONY: install test test-fast bench bench-raw experiments full-scale examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -12,6 +12,9 @@ test-fast:
 	pytest tests/ -m "not slow"
 
 bench:
+	PYTHONPATH=src python scripts/run_bench.py
+
+bench-raw:
 	pytest benchmarks/ --benchmark-only
 
 experiments:

@@ -1,0 +1,109 @@
+"""Fast-path regression benchmarks: fused bursts vs the reference engine.
+
+Three trace shapes, each run with ``fast_path`` on and off so the harness
+(`scripts/run_bench.py`) can compute the speedup ratios it records in
+``BENCH_simx.json``:
+
+* **private-burst** — long runs of thread-private Compute/Load/Store, the
+  shape the fast path exists for (acceptance bar: >= 3x);
+* **shared-heavy** — mostly shared lines, so almost nothing fuses; the
+  fast path must not regress this (compilation overhead stays negligible);
+* **kmeans-mix** — a real workload trace at sweep scale, the honest
+  end-to-end number.
+
+Each test stores the trace's op count in ``benchmark.extra_info`` so
+ops/sec can be derived from the benchmark JSON.
+"""
+
+import pytest
+
+from repro.simx import (
+    Compute,
+    Load,
+    Machine,
+    MachineConfig,
+    Store,
+    ThreadTrace,
+    TraceProgram,
+)
+
+LINE = 64
+
+
+def _count_ops(prog: TraceProgram) -> int:
+    return sum(len(t.ops) for t in prog.threads)
+
+
+def private_burst_program(n_threads: int = 4, n_rounds: int = 800) -> TraceProgram:
+    """Streams over per-thread private lines: nearly everything fuses."""
+    threads = []
+    for tid in range(n_threads):
+        base = (0x1000 + tid * 0x1000) * LINE
+        ops = []
+        for i in range(n_rounds):
+            ops.append(Compute(40))
+            ops.append(Load(base + (i % 256) * LINE))
+            ops.append(Store(base + (i % 64) * LINE))
+        threads.append(ThreadTrace(tid, ops))
+    return TraceProgram("private-burst", threads)
+
+
+def shared_heavy_program(n_threads: int = 4, n_rounds: int = 600) -> TraceProgram:
+    """All threads hammer the same 32 lines: almost nothing fuses."""
+    threads = []
+    for tid in range(n_threads):
+        ops = []
+        for i in range(n_rounds):
+            ops.append(Compute(20))
+            ops.append(Load(((i + tid) % 32) * LINE))
+            ops.append(Store(((i * 3 + tid) % 32) * LINE))
+        threads.append(ThreadTrace(tid, ops))
+    return TraceProgram("shared-heavy", threads)
+
+
+def kmeans_mix_program(p: int = 8) -> TraceProgram:
+    """A real kmeans trace at the scale the Table II sweeps use."""
+    from repro.workloads.datasets import make_blobs
+    from repro.workloads.kmeans import KMeansWorkload
+    from repro.workloads.tracegen import program_from_execution
+
+    wl = KMeansWorkload(
+        make_blobs(1800, 9, 8, seed=11, label="bench"),
+        max_iterations=3, tolerance=1e-12,
+    )
+    return program_from_execution(wl.execute(p), mem_scale=2)
+
+
+def _bench(benchmark, prog: TraceProgram, fast_path: bool, n_cores: int = 16):
+    machine = Machine(MachineConfig(n_cores=n_cores, fast_path=fast_path))
+    benchmark.extra_info["n_ops"] = _count_ops(prog)
+    benchmark.extra_info["fast_path"] = fast_path
+    result = benchmark(machine.run, prog)
+    assert result.total_cycles > 0
+    return result
+
+
+@pytest.mark.parametrize("fast_path", [True, False], ids=["fast", "reference"])
+def test_private_burst(benchmark, fast_path):
+    _bench(benchmark, private_burst_program(), fast_path)
+
+
+@pytest.mark.parametrize("fast_path", [True, False], ids=["fast", "reference"])
+def test_shared_heavy(benchmark, fast_path):
+    _bench(benchmark, shared_heavy_program(), fast_path)
+
+
+@pytest.mark.parametrize("fast_path", [True, False], ids=["fast", "reference"])
+def test_kmeans_mix(benchmark, fast_path):
+    _bench(benchmark, kmeans_mix_program(), fast_path)
+
+
+def test_fast_and_reference_agree():
+    """Guard (also with --benchmark-disable): both engines, same results."""
+    for prog in (private_burst_program(n_rounds=60),
+                 shared_heavy_program(n_rounds=60)):
+        fast = Machine(MachineConfig(n_cores=16, fast_path=True)).run(prog)
+        ref = Machine(MachineConfig(n_cores=16, fast_path=False)).run(prog)
+        assert fast.total_cycles == ref.total_cycles
+        assert fast.thread_cycles == ref.thread_cycles
+        assert fast.coherence == ref.coherence

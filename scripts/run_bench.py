@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Benchmark regression harness: run the suite, emit ``BENCH_simx.json``.
+
+Runs the pytest-benchmark suites (``benchmarks/test_throughput.py`` and
+``benchmarks/test_fastpath.py``), derives simulated ops/sec and the
+fast-path speedup ratios, times a simulator sweep cold vs disk-warm, and
+writes everything to ``BENCH_simx.json`` in the repo root — the artifact
+CI uploads so the perf trajectory is tracked across commits.
+
+Usage::
+
+    python scripts/run_bench.py [--output BENCH_simx.json] [--quick]
+
+``--quick`` trims benchmark rounds for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def run_pytest_benchmarks(quick: bool) -> dict:
+    """Run the benchmark suites and return pytest-benchmark's JSON."""
+    out = Path(tempfile.mkdtemp(prefix="repro-bench-")) / "pytest-bench.json"
+    cmd = [
+        sys.executable, "-m", "pytest",
+        str(REPO / "benchmarks" / "test_throughput.py"),
+        str(REPO / "benchmarks" / "test_fastpath.py"),
+        "-q", "-p", "no:cacheprovider",
+        "--benchmark-only",
+        f"--benchmark-json={out}",
+    ]
+    if quick:
+        cmd += ["--benchmark-min-rounds=1", "--benchmark-warmup=off"]
+    env = {**os.environ, "PYTHONPATH": str(SRC)}
+    res = subprocess.run(cmd, cwd=REPO, env=env)
+    if res.returncode != 0:
+        raise SystemExit(f"benchmark run failed (exit {res.returncode})")
+    return json.loads(out.read_text())
+
+
+def summarise(bench_json: dict) -> dict:
+    """Per-benchmark timings and ops/sec (where op counts are known).
+
+    ops/sec uses the *minimum* round time: scheduler noise only ever adds
+    time, so the min is the most reproducible basis for a regression bar.
+    """
+    rows = {}
+    for b in bench_json.get("benchmarks", []):
+        name = b["name"]
+        row = {"mean_seconds": b["stats"]["mean"], "min_seconds": b["stats"]["min"]}
+        n_ops = b.get("extra_info", {}).get("n_ops")
+        if n_ops:
+            row["n_ops"] = n_ops
+            row["ops_per_sec"] = n_ops / b["stats"]["min"]
+        rows[name] = row
+    return rows
+
+
+def _ratio(rows: dict, stem: str) -> "float | None":
+    fast = rows.get(f"{stem}[fast]")
+    ref = rows.get(f"{stem}[reference]")
+    if not (fast and ref and "ops_per_sec" in fast and "ops_per_sec" in ref):
+        return None
+    return fast["ops_per_sec"] / ref["ops_per_sec"]
+
+
+def time_sweep_cache() -> dict:
+    """Cold vs disk-warm wall time for a small simulator sweep."""
+    from repro.experiments import simsweep
+
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-") as tmp:
+        simsweep.set_disk_store(tmp)
+        simsweep.clear_cache(memory_only=True)
+        wl = simsweep.default_workloads(0.05)["kmeans"]
+        threads = (1, 2, 4)
+
+        t0 = time.perf_counter()
+        cold = simsweep.simulate_breakdowns(wl, threads, n_cores=4, mem_scale=4)
+        cold_s = time.perf_counter() - t0
+
+        simsweep.clear_cache(memory_only=True)  # drop memo, keep disk
+        t0 = time.perf_counter()
+        warm = simsweep.simulate_breakdowns(wl, threads, n_cores=4, mem_scale=4)
+        warm_s = time.perf_counter() - t0
+        info = simsweep.cache_info()
+        simsweep.set_disk_store(None)
+
+    assert {p: w.total for p, w in cold.items()} == {p: w.total for p, w in warm.items()}
+    return {
+        "cold_seconds": round(cold_s, 4),
+        "disk_warm_seconds": round(warm_s, 4),
+        "warm_speedup": round(cold_s / warm_s, 1) if warm_s else None,
+        "hit_rate": info["hit_rate"],
+        "disk_hits": info["disk_hits"],
+        "misses": info["misses"],
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--output", default=str(REPO / "BENCH_simx.json"))
+    ap.add_argument("--quick", action="store_true",
+                    help="single benchmark round (smoke run)")
+    args = ap.parse_args(argv)
+
+    sys.path.insert(0, str(SRC))
+
+    bench_json = run_pytest_benchmarks(args.quick)
+    rows = summarise(bench_json)
+    report = {
+        "schema": 1,
+        "machine_info": bench_json.get("machine_info", {}).get("cpu", {}),
+        "python": bench_json.get("machine_info", {}).get("python_version"),
+        "benchmarks": rows,
+        "fastpath": {
+            "private_burst_speedup": _ratio(rows, "test_private_burst"),
+            "shared_heavy_ratio": _ratio(rows, "test_shared_heavy"),
+            "kmeans_mix_speedup": _ratio(rows, "test_kmeans_mix"),
+        },
+        "sweep_cache": time_sweep_cache(),
+    }
+    out = Path(args.output)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    fp = report["fastpath"]
+    print(f"\nwrote {out}")
+    for k, v in fp.items():
+        print(f"  {k:24} {v:.2f}x" if v else f"  {k:24} n/a")
+    sc = report["sweep_cache"]
+    print(f"  sweep cold -> disk-warm  {sc['cold_seconds']}s -> "
+          f"{sc['disk_warm_seconds']}s (hit rate {sc['hit_rate']:.0%})")
+
+    ok = True
+    if fp["private_burst_speedup"] and fp["private_burst_speedup"] < 3.0:
+        print("FAIL: private-burst speedup below the 3x acceptance bar")
+        ok = False
+    if fp["shared_heavy_ratio"] and fp["shared_heavy_ratio"] < 0.9:
+        print("FAIL: fast path regresses the shared-heavy benchmark")
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,10 @@ Subcommands
 ``predict --f F --fcon C --fored O [...]``
     One-off speedup prediction for an application you characterise on the
     command line — the library's headline use case without writing code.
+``cache info|clear``
+    Inspect or drop the on-disk simulation sweep cache (simulator-backed
+    experiments reuse results across invocations; ``--no-sweep-cache`` on
+    ``run``/``characterize`` opts a single invocation out).
 """
 
 from __future__ import annotations
@@ -50,6 +54,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="render figure series as terminal line charts")
     run_p.add_argument("--json", metavar="DIR", default=None,
                        help="also write each report as JSON into DIR")
+    run_p.add_argument("--no-sweep-cache", action="store_true",
+                       help="skip the on-disk simulation sweep cache")
 
     pred = sub.add_parser("predict", help="speedup prediction for custom parameters")
     pred.add_argument("--f", type=float, required=True, help="parallel fraction")
@@ -77,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
     char.add_argument("--reduction", default="serial",
                       choices=["serial", "tree", "parallel"],
                       help="merge strategy (kmeans/fuzzy only)")
+    char.add_argument("--no-sweep-cache", action="store_true",
+                      help="skip the on-disk simulation sweep cache")
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the on-disk simulation sweep cache"
+    )
+    cache_p.add_argument("action", choices=["info", "clear"])
+    cache_p.add_argument("--memory-only", action="store_true",
+                         help="with 'clear': keep the disk tier")
 
     diff_p = sub.add_parser(
         "diff", help="compare two stored JSON reports of the same experiment"
@@ -92,6 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--interconnect", choices=["bus", "mesh"], default="bus")
     sim_p.add_argument("--dram", choices=["flat", "banked"], default="flat")
     sim_p.add_argument("--protocol", choices=["mesi", "msi"], default="mesi")
+    sim_p.add_argument("--no-fast-path", action="store_true",
+                       help="force the op-at-a-time reference engine "
+                            "(the fused fast path is cycle-identical; "
+                            "this exists for cross-checking and timing)")
     return parser
 
 
@@ -101,7 +120,23 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments import simsweep
+
+    if args.action == "clear":
+        simsweep.clear_cache(memory_only=args.memory_only)
+        print("sweep cache cleared" + (" (memory tier only)" if args.memory_only else ""))
+        return 0
+    for k, v in simsweep.cache_info().items():
+        print(f"{k:15} {v}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.no_sweep_cache:
+        from repro.experiments import simsweep
+
+        simsweep.set_disk_store(None)
     ids = sorted(k for k in EXPERIMENTS if not k.startswith("ablation-")) \
         if args.experiment == "all" else [args.experiment]
     failed = False
@@ -183,6 +218,10 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         speedup_curve,
     )
 
+    if args.no_sweep_cache:
+        from repro.experiments import simsweep
+
+        simsweep.set_disk_store(None)
     workloads = dict(default_workloads(args.scale))
     if args.workload == "histogram":
         from repro.workloads.histogram import HistogramWorkload
@@ -231,6 +270,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_predict(args)
     if args.command == "characterize":
         return _cmd_characterize(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "diff":
         from repro.experiments.diffing import diff_reports
         from repro.experiments.store import load_report
@@ -247,6 +288,7 @@ def main(argv: "list[str] | None" = None) -> int:
             interconnect=args.interconnect,
             dram=args.dram,
             coherence_protocol=args.protocol,
+            fast_path=not args.no_fast_path,
         )
         result = Machine(config).run(load_program(args.trace))
         print(result.summary())

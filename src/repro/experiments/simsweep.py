@@ -10,14 +10,33 @@ dataset scaling (Table IV of the paper makes exactly this argument) —
 the absolute serial percentage shifts with scale, which EXPERIMENTS.md
 records.
 
-Results are memoised per (workload-config, cores) within a process, so the
-Table II, Fig 2 and benchmark drivers share one set of simulations.
+Results are cached in two tiers:
+
+* an in-process memo per (workload-config, machine-config, threads), so
+  the Table II, Fig 2 and benchmark drivers share one set of simulations
+  within a run;
+* a content-hashed on-disk store (:class:`~repro.experiments.store.SweepStore`),
+  so repeated sweeps are free *across* CLI invocations.  The disk key
+  hashes everything a result depends on — workload identity and size,
+  the full :class:`~repro.simx.config.MachineConfig`, ``mem_scale``, the
+  thread count and a simulator-semantics version — so any change to the
+  configuration changes the key and stale hits are impossible.  Corrupt
+  entries read as misses.
+
+The disk tier defaults to ``.repro-cache/sweeps`` under the current
+directory; override with the ``REPRO_SWEEP_CACHE_DIR`` environment
+variable, disable with ``REPRO_SWEEP_CACHE=off`` (or per-process via
+:func:`set_disk_store`).
 """
 
 from __future__ import annotations
 
+import os
+from dataclasses import asdict
+from pathlib import Path
 from typing import Iterable, Mapping
 
+from repro.experiments.store import SweepStore
 from repro.simx import Machine, MachineConfig
 from repro.workloads.base import ClusteringWorkloadBase
 from repro.workloads.datasets import make_blobs, make_particles
@@ -27,18 +46,88 @@ from repro.workloads.instrument import PhaseBreakdown, breakdown_from_simulation
 from repro.workloads.kmeans import KMeansWorkload
 from repro.workloads.tracegen import program_from_execution
 
-__all__ = ["default_workloads", "simulate_breakdowns", "clear_cache"]
+__all__ = [
+    "default_workloads",
+    "simulate_breakdowns",
+    "clear_cache",
+    "cache_info",
+    "set_disk_store",
+]
 
 #: paper dataset attributes (kmeans/fuzzy: N, D, C; hop: particles)
 _PAPER_N = 17695
 _PAPER_HOP_N = 61440
 
+#: bump whenever simulator *timing semantics* change, so persisted sweep
+#: results from older code can never satisfy a lookup.
+_SIM_VERSION = 1
+
 _cache: dict[tuple, PhaseBreakdown] = {}
+_stats = {"memory_hits": 0, "disk_hits": 0, "misses": 0}
+
+_DISK_DEFAULT = object()  # sentinel: resolve from the environment
+_disk_store: "SweepStore | None | object" = _DISK_DEFAULT
 
 
-def clear_cache() -> None:
-    """Drop memoised simulation results (tests use this for isolation)."""
+def set_disk_store(store: "SweepStore | str | Path | None") -> None:
+    """Point the disk tier somewhere else, or disable it with ``None``.
+
+    Accepts a :class:`~repro.experiments.store.SweepStore`, a directory
+    path, or ``None``.  Tests use this to isolate themselves in a tmp
+    directory; the CLI's ``--no-sweep-cache`` flag passes ``None``.
+    """
+    global _disk_store
+    if isinstance(store, (str, Path)):
+        store = SweepStore(store)
+    _disk_store = store
+
+
+def _get_disk() -> "SweepStore | None":
+    global _disk_store
+    if _disk_store is _DISK_DEFAULT:
+        if os.environ.get("REPRO_SWEEP_CACHE", "").lower() in ("0", "off", "no", "false"):
+            _disk_store = None
+        else:
+            root = os.environ.get(
+                "REPRO_SWEEP_CACHE_DIR", str(Path(".repro-cache") / "sweeps")
+            )
+            _disk_store = SweepStore(root)
+    return _disk_store
+
+
+def clear_cache(memory_only: bool = False) -> None:
+    """Drop cached simulation results from both tiers.
+
+    Test-isolation contract: after ``clear_cache()`` the next
+    :func:`simulate_breakdowns` call re-runs the simulator — no result can
+    survive in the in-process memo *or* the on-disk store, and the hit/miss
+    counters restart from zero.  Pass ``memory_only=True`` to drop just the
+    in-process memo (e.g. to measure the disk tier itself, or to free
+    memory while keeping warm sweeps on disk).
+    """
     _cache.clear()
+    for k in _stats:
+        _stats[k] = 0
+    if not memory_only:
+        disk = _get_disk()
+        if disk is not None:
+            disk.clear()
+
+
+def cache_info() -> dict:
+    """Hit/miss counters and tier sizes (for benchmarks and ``cache info``)."""
+    disk = _get_disk()
+    lookups = sum(_stats.values())
+    return {
+        **_stats,
+        "lookups": lookups,
+        "hit_rate": (_stats["memory_hits"] + _stats["disk_hits"]) / lookups
+        if lookups
+        else 0.0,
+        "memory_entries": len(_cache),
+        "disk_entries": len(disk) if disk is not None else 0,
+        "disk_path": str(disk.root) if disk is not None else None,
+    }
 
 
 def default_workloads(
@@ -65,7 +154,7 @@ def default_workloads(
     }
 
 
-def _key(workload: ClusteringWorkloadBase, p: int, n_cores: int, mem_scale: int) -> tuple:
+def _workload_fields(workload: ClusteringWorkloadBase) -> tuple:
     ds = getattr(workload, "dataset", None)
     if ds is not None:
         size = getattr(ds, "n_points", getattr(ds, "n_particles", 0))
@@ -77,10 +166,50 @@ def _key(workload: ClusteringWorkloadBase, p: int, n_cores: int, mem_scale: int)
         getattr(workload, "n_bins", 0),
         getattr(workload, "max_iterations", 1),
         getattr(workload, "reduction_strategy", "serial"),
-        p,
-        n_cores,
-        mem_scale,
     )
+
+
+def _key(
+    workload: ClusteringWorkloadBase, p: int, mem_scale: int, config: MachineConfig
+) -> tuple:
+    return (*_workload_fields(workload), p, mem_scale, config)
+
+
+def _disk_description(
+    workload: ClusteringWorkloadBase, p: int, mem_scale: int, config: MachineConfig
+) -> dict:
+    name, size, n_bins, max_iter, reduction = _workload_fields(workload)
+    return {
+        "sim_version": _SIM_VERSION,
+        "workload": {
+            "name": name,
+            "size": size,
+            "n_bins": n_bins,
+            "max_iterations": max_iter,
+            "reduction_strategy": reduction,
+        },
+        "threads": p,
+        "mem_scale": mem_scale,
+        "machine": asdict(config),
+    }
+
+
+_BREAKDOWN_FIELDS = ("n_threads", "total", "init", "parallel", "reduction", "serial")
+
+
+def _breakdown_to_payload(b: PhaseBreakdown) -> dict:
+    return {f: getattr(b, f) for f in _BREAKDOWN_FIELDS}
+
+
+def _breakdown_from_payload(payload: dict) -> "PhaseBreakdown | None":
+    """Rebuild a stored breakdown; None (a miss) on any malformed payload."""
+    try:
+        return PhaseBreakdown(
+            n_threads=int(payload["n_threads"]),
+            **{f: float(payload[f]) for f in _BREAKDOWN_FIELDS[1:]},
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 def simulate_breakdowns(
@@ -88,15 +217,43 @@ def simulate_breakdowns(
     thread_counts: Iterable[int] = (1, 2, 4, 8, 16),
     n_cores: int = 16,
     mem_scale: int = 2,
+    config: "MachineConfig | None" = None,
 ) -> dict[int, PhaseBreakdown]:
     """Run the workload on the simulator per thread count and return the
-    per-phase breakdowns (memoised)."""
-    machine = Machine(MachineConfig.baseline(n_cores=n_cores))
+    per-phase breakdowns (cached in memory and on disk).
+
+    ``config`` overrides the machine (default: ``MachineConfig.baseline``
+    with ``n_cores`` cores); the cache key covers the full configuration,
+    so sweeping variants never cross-contaminate.
+    """
+    if config is None:
+        config = MachineConfig.baseline(n_cores=n_cores)
+    machine = Machine(config)
+    disk = _get_disk()
     out: dict[int, PhaseBreakdown] = {}
     for p in thread_counts:
-        key = _key(workload, p, n_cores, mem_scale)
-        if key not in _cache:
-            prog = program_from_execution(workload.execute(p), mem_scale=mem_scale)
-            _cache[key] = breakdown_from_simulation(machine.run(prog))
-        out[p] = _cache[key]
+        key = _key(workload, p, mem_scale, config)
+        hit = _cache.get(key)
+        if hit is not None:
+            _stats["memory_hits"] += 1
+            out[p] = hit
+            continue
+        disk_key = None
+        if disk is not None:
+            disk_key = disk.key_for(_disk_description(workload, p, mem_scale, config))
+            payload = disk.get(disk_key)
+            if payload is not None:
+                restored = _breakdown_from_payload(payload)
+                if restored is not None:
+                    _stats["disk_hits"] += 1
+                    _cache[key] = restored
+                    out[p] = restored
+                    continue
+        _stats["misses"] += 1
+        prog = program_from_execution(workload.execute(p), mem_scale=mem_scale)
+        result = breakdown_from_simulation(machine.run(prog))
+        _cache[key] = result
+        if disk is not None:
+            disk.put(disk_key, _breakdown_to_payload(result))
+        out[p] = result
     return out

@@ -1,21 +1,37 @@
-"""Persisting experiment reports as JSON.
+"""Persisting experiment artefacts as JSON.
 
-Reports round-trip to a stable JSON schema so runs can be archived,
-diffed across code versions, and consumed by external tooling (the CLI's
-``run --json`` flag).  Only the structured content is serialised — tables,
-comparisons, notes; ``raw`` objects (numpy arrays, dataclasses) stay
-in-process.
+Two kinds of artefact live here:
+
+* **reports** — structured experiment output (tables, comparisons, notes)
+  round-tripping to a stable JSON schema so runs can be archived, diffed
+  across code versions, and consumed by external tooling (the CLI's
+  ``run --json`` flag); ``raw`` objects (numpy arrays, dataclasses) stay
+  in-process;
+* **sweep results** — a content-addressed on-disk store
+  (:class:`SweepStore`) used by :mod:`repro.experiments.simsweep` as the
+  second cache tier, so repeated Table II / Fig 2 sweeps are free across
+  CLI invocations.  Keys are SHA-256 hashes of a canonical JSON
+  description of everything the result depends on; corrupt or truncated
+  entries are treated as misses, never as errors.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from pathlib import Path
 
 from repro.experiments.report import ExperimentReport, PaperComparison
 from repro.util.tables import TextTable
 
-__all__ = ["report_to_dict", "report_from_dict", "save_report", "load_report"]
+__all__ = [
+    "report_to_dict",
+    "report_from_dict",
+    "save_report",
+    "load_report",
+    "SweepStore",
+]
 
 _SCHEMA_VERSION = 1
 
@@ -84,3 +100,74 @@ def save_report(report: ExperimentReport, path: "str | Path") -> Path:
 def load_report(path: "str | Path") -> ExperimentReport:
     """Read a report back from disk."""
     return report_from_dict(json.loads(Path(path).read_text()))
+
+
+class SweepStore:
+    """A content-addressed JSON store: one file per key under ``root``.
+
+    The store is deliberately forgiving on the read side — any unreadable,
+    unparsable, truncated or key-mismatched entry is a *miss* (``None``),
+    because a cache must never turn disk corruption into a crashed sweep.
+    Writes are atomic (temp file + ``os.replace``) so a killed process
+    cannot leave a half-written entry behind.
+    """
+
+    _STORE_SCHEMA = 1
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+
+    @staticmethod
+    def key_for(description: dict) -> str:
+        """Hash a JSON-serialisable description into a store key.
+
+        Canonical form (sorted keys, no whitespace) so logically equal
+        descriptions always map to the same key.
+        """
+        blob = json.dumps(description, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> "dict | None":
+        """Payload stored under ``key``, or None (missing or corrupt)."""
+        try:
+            data = json.loads(self.path_for(key).read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("schema") != self._STORE_SCHEMA
+            or data.get("key") != key
+            or "payload" not in data
+        ):
+            return None
+        return data["payload"]
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Atomically store ``payload`` under ``key``; returns the path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        record = {"schema": self._STORE_SCHEMA, "key": key, "payload": payload}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(record, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for p in self.root.glob("*.json"):
+                try:
+                    p.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

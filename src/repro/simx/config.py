@@ -126,6 +126,14 @@ class MachineConfig:
     #: "mesi" (Table I's protocol) or "msi" — without the Exclusive state
     #: every first write after a read miss pays an upgrade transaction.
     coherence_protocol: str = "mesi"
+    #: execute runs of thread-private Compute/Load/Store operations as
+    #: fused bursts (repro.simx.fastpath).  Cycle- and stats-identical to
+    #: the op-at-a-time reference path by construction; the machine falls
+    #: back to the reference path automatically whenever a configuration
+    #: makes fusion unsafe (contended bus, banked DRAM, prefetching) or a
+    #: burst is about to evict a shared line.  Disable to force the
+    #: reference path everywhere.
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         check_positive_int(self.n_cores, "n_cores")

@@ -1,0 +1,159 @@
+"""Batched fast-path execution: fuse runs of thread-private operations.
+
+The reference scheduler in :mod:`repro.simx.machine` advances one operation
+at a time, paying Python dispatch, a coherence-stats snapshot and a
+scheduler pass per op.  Most cycles in the paper's workloads come from long
+runs of *thread-private* work — a thread streaming its own point partition
+and partial buffers between synchronisation points — where none of that
+machinery can observe anything: no other core ever touches those lines, so
+no protocol event involving another thread can occur.
+
+This module proves that property ahead of time and packages such runs into
+:class:`Burst` objects the machine executes in a single scheduler step:
+
+* a whole-program pass classifies every cache line by its accessor set —
+  a line touched by more than one thread is *shared*, everything else is
+  *private* to its single accessor;
+* each thread's trace is partitioned into maximal runs of ``Compute`` ops
+  and ``Load``/``Store`` ops on that thread's private lines; any other
+  operation (synchronisation, phase markers, shared accesses) terminates
+  the run;
+* at execution time a burst advances the thread clock, cache state and
+  counters through the streamlined private entry points of
+  :class:`~repro.simx.coherence.CoherenceController`, bailing back to the
+  reference path *before* any access whose L1 fill would evict a shared
+  line (the one way a private run can become visible to other cores).
+
+Fusion is only attempted when the machine configuration makes burst
+execution order-independent: a stateless interconnect (no bus
+arbitration queue), flat DRAM (the banked model keeps open-row state
+shared across cores) and no next-line prefetching (a prefetch can reach
+into a neighbouring thread's region).  Under those gates a fused burst is
+cycle- and stats-identical to the reference interleaving — enforced by
+``tests/simx/test_fastpath_differential.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simx.config import MachineConfig
+from repro.simx.trace import Compute, Load, Store, TraceProgram
+
+__all__ = ["Burst", "supports_fast_path", "compile_program", "CompiledProgram"]
+
+#: do not wrap runs shorter than this — the per-burst setup (one stats
+#: snapshot + one phase charge) costs about as much as one reference op.
+MIN_RUN = 2
+
+
+@dataclass(frozen=True)
+class Burst:
+    """A maximal run of fusable ops, executed in one scheduler step.
+
+    ``ops`` contains only ``Compute`` and ``Load``/``Store`` on lines
+    private to the owning thread.  ``n_mem`` is precomputed so the machine
+    can skip the coherence snapshot for pure-compute bursts.
+    """
+
+    ops: tuple
+    n_mem: int
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """A program lowered for fused execution.
+
+    ``thread_ops[tid]`` mixes plain ops with :class:`Burst` entries;
+    ``shared_lines`` is the eviction bail-out set (lines visible to more
+    than one thread).
+    """
+
+    thread_ops: tuple
+    shared_lines: frozenset
+    n_bursts: int
+    n_fused_ops: int
+
+
+def supports_fast_path(config: MachineConfig, max_cycles: "int | None" = None) -> bool:
+    """Whether fused bursts are provably order-independent for this config.
+
+    The gates (beyond the ``fast_path`` knob itself):
+
+    * ``max_cycles`` unset — the watchdog checks the clock between single
+      ops, which a fused burst would overshoot;
+    * no bus arbitration (``bus_occupancy``) — a contended bus serialises
+      transactions in global arrival order;
+    * flat DRAM — the banked model's open-row state couples cores;
+    * no next-line prefetch — a prefetch crosses into neighbouring lines
+      the privacy analysis did not attribute to this thread.
+    """
+    return (
+        config.fast_path
+        and max_cycles is None
+        and config.dram == "flat"
+        and not config.prefetch_next_line
+        and not (config.interconnect == "bus" and config.bus_occupancy > 0)
+    )
+
+
+def compile_program(program: TraceProgram, line_size: int) -> CompiledProgram:
+    """Materialise a program and fuse its private runs into bursts.
+
+    Consumes each thread's op iterable (as a normal run would) and returns
+    the lowered per-thread op lists plus the shared-line set.
+    """
+    op_lists = [list(t.ops) for t in program.threads]
+
+    # pass 1: accessor analysis — who touches each line?
+    owner: dict[int, int] = {}
+    _SHARED = -1
+    for tid, ops in enumerate(op_lists):
+        for op in ops:
+            t = type(op)
+            if t is Load or t is Store:
+                line = op.addr // line_size
+                prev = owner.setdefault(line, tid)
+                if prev != tid:
+                    owner[line] = _SHARED
+    shared_lines = frozenset(line for line, o in owner.items() if o == _SHARED)
+
+    # pass 2: fuse maximal private runs per thread
+    n_bursts = 0
+    n_fused = 0
+    compiled: list[list] = []
+    for tid, ops in enumerate(op_lists):
+        out: list = []
+        run: list = []
+        n_mem = 0
+        for op in ops:
+            t = type(op)
+            if t is Compute:
+                run.append(op)
+            elif (t is Load or t is Store) and op.addr // line_size not in shared_lines:
+                run.append(op)
+                n_mem += 1
+            else:
+                if len(run) >= MIN_RUN:
+                    out.append(Burst(tuple(run), n_mem))
+                    n_bursts += 1
+                    n_fused += len(run)
+                else:
+                    out.extend(run)
+                run = []
+                n_mem = 0
+                out.append(op)
+        if len(run) >= MIN_RUN:
+            out.append(Burst(tuple(run), n_mem))
+            n_bursts += 1
+            n_fused += len(run)
+        else:
+            out.extend(run)
+        compiled.append(out)
+
+    return CompiledProgram(
+        thread_ops=tuple(compiled),
+        shared_lines=shared_lines,
+        n_bursts=n_bursts,
+        n_fused_ops=n_fused,
+    )

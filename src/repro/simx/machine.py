@@ -19,6 +19,8 @@ detected and raised rather than hanging the simulation.
 
 from __future__ import annotations
 
+import itertools
+import math
 from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Iterator
@@ -26,6 +28,7 @@ from typing import Iterator
 from repro.simx.coherence import CoherenceController, CoherenceStats
 from repro.simx.config import MachineConfig
 from repro.simx.core_model import CoreModel
+from repro.simx.fastpath import Burst, compile_program, supports_fast_path
 from repro.simx.stats import PhaseStats
 from repro.simx.trace import (
     Barrier,
@@ -183,9 +186,18 @@ class Machine:
             )
             for i in range(program.n_threads)
         ]
-        threads = [
-            _ThreadCtx(tid=t.thread_id, ops=iter(t)) for t in program.threads
-        ]
+        if supports_fast_path(self.config, max_cycles):
+            compiled = compile_program(program, self.config.line_size)
+            shared_lines = compiled.shared_lines
+            threads = [
+                _ThreadCtx(tid=t.thread_id, ops=iter(compiled.thread_ops[i]))
+                for i, t in enumerate(program.threads)
+            ]
+        else:
+            shared_lines = frozenset()
+            threads = [
+                _ThreadCtx(tid=t.thread_id, ops=iter(t)) for t in program.threads
+            ]
         stats = PhaseStats()
         barrier_arrivals: dict[int, dict[int, int]] = {}
         lock_holder: dict[int, int] = {}
@@ -215,6 +227,65 @@ class Machine:
                 ctx.state = _State.RUNNABLE
                 ctx.barrier_id = None
 
+        def run_burst(ctx: _ThreadCtx, burst: Burst) -> None:
+            """Execute a fused run of private ops in one scheduler step.
+
+            Cycle- and stats-identical to stepping the ops individually:
+            busy cycles and the coherence-by-phase charge are accumulated
+            per burst (the per-op sums are equal), and the streamlined
+            coherence entry points reproduce the reference protocol
+            exactly for private lines.  If an access would evict a shared
+            line, the burst stops *before* it and the unexecuted tail is
+            pushed back for op-at-a-time execution under the normal
+            interleaving.
+            """
+            core = cores[ctx.tid]
+            tid = ctx.tid
+            phase = ctx.current_phase()
+            if burst.n_mem:
+                snapshot = replace(coherence.stats)
+            read_private = coherence.read_private
+            write_private = coherence.write_private
+            compute_denom = core.config.effective_ipc * core.perf_factor
+            ceil = math.ceil
+            busy = 0
+            n_loads = 0
+            n_stores = 0
+            compute_instructions = 0
+            ops = burst.ops
+            executed = 0
+            for op in ops:
+                t = type(op)
+                if t is Compute:
+                    k = op.instructions
+                    compute_instructions += k
+                    busy += ceil(k / compute_denom)
+                elif t is Load:
+                    cycles = read_private(tid, op.addr, shared_lines)
+                    if cycles is None:
+                        break
+                    n_loads += 1
+                    busy += cycles
+                else:  # Store
+                    cycles = write_private(tid, op.addr, shared_lines)
+                    if cycles is None:
+                        break
+                    n_stores += 1
+                    busy += cycles
+                executed += 1
+            core.instructions_retired += compute_instructions + n_loads + n_stores
+            core.loads += n_loads
+            core.stores += n_stores
+            if busy:
+                stats.add_busy(phase, tid, busy)
+                ctx.clock += busy
+            if n_loads or n_stores:
+                charge_coherence(phase, snapshot)
+            if executed < len(ops):
+                # an eviction hazard ended the run early: execute the rest
+                # (including the offending op) on the reference path
+                ctx.ops = itertools.chain(ops[executed:], ctx.ops)
+
         def step(ctx: _ThreadCtx) -> None:
             try:
                 op = next(ctx.ops)
@@ -230,7 +301,9 @@ class Machine:
                 ctx.state = _State.DONE
                 return
 
-            if isinstance(op, Compute):
+            if type(op) is Burst:
+                run_burst(ctx, op)
+            elif isinstance(op, Compute):
                 cycles = cores[ctx.tid].compute_cycles(op.instructions)
                 stats.add_busy(ctx.current_phase(), ctx.tid, cycles)
                 ctx.clock += cycles

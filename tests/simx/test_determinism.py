@@ -1,6 +1,9 @@
 """Property tests: the simulator is deterministic and scheduling-stable."""
 
+from dataclasses import replace
+
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -87,3 +90,80 @@ class TestDeterminism:
         res = tiny_machine().run(prog)
         # all threads end at the same time: equal post-barrier work
         assert len(set(res.thread_cycles)) == 1
+
+
+# ── fast-path knob parity ─────────────────────────────────────────────────
+#
+# The `fast_path` knob may change throughput only, never results: every
+# machine configuration must produce bitwise-equal output with the knob on
+# and off.  Configurations the fast path cannot accelerate (banked DRAM,
+# contended bus, prefetch) take the gated fallback, which must be exactly
+# the reference path.  A deeper per-op differential proof lives in
+# tests/simx/test_fastpath_differential.py; this is the regression tripwire
+# that keeps the knob from ever forking behaviour silently.
+
+PARITY_CONFIGS = {
+    "baseline": MachineConfig.baseline(n_cores=4),
+    "tiny-caches": MachineConfig(
+        n_cores=4,
+        l1d=CacheConfig(size=8 * 64, ways=2),
+        l1i=CacheConfig(size=8 * 64, ways=2),
+        l2=CacheConfig(size=64 * 64, ways=4, hit_latency=12),
+    ),
+    "msi": MachineConfig(n_cores=4, coherence_protocol="msi"),
+    "mesh": MachineConfig(n_cores=4, interconnect="mesh"),
+    "banked-dram": MachineConfig(n_cores=4, dram="banked"),
+    "contended-bus": MachineConfig(n_cores=4, bus_occupancy=2),
+    "prefetch": MachineConfig(n_cores=4, prefetch_next_line=True),
+    "asymmetric": MachineConfig(n_cores=4, core_perf_factors=(2.0, 1.0, 1.0, 1.0)),
+}
+
+
+def _parity_program() -> TraceProgram:
+    """A fixed mixed trace: private streams, shared lines, barriers."""
+    threads = []
+    for tid in range(4):
+        base = (0x1000 + tid * 0x100) * 64
+        ops = []
+        for rnd in range(3):
+            for i in range(12):
+                ops.append(Compute(17 + 13 * i))
+                ops.append(Load(base + ((rnd * 12 + i) % 24) * 64))
+                if i % 3 == 0:
+                    ops.append(Store(base + (i % 8) * 64))
+                if i % 5 == 0:
+                    ops.append(Load((i % 6) * 64))       # shared reads
+                if i % 7 == 0:
+                    ops.append(Store(((i + tid) % 6) * 64))  # shared writes
+            ops.append(Barrier(rnd))
+        threads.append(ThreadTrace(tid, ops))
+    return TraceProgram("parity", threads)
+
+
+class TestFastPathKnobParity:
+    @pytest.mark.parametrize("name", sorted(PARITY_CONFIGS))
+    def test_knob_never_changes_results(self, name):
+        config = PARITY_CONFIGS[name]
+        prog = _parity_program()
+        on = Machine(replace(config, fast_path=True)).run(prog)
+        off = Machine(replace(config, fast_path=False)).run(prog)
+        assert on.total_cycles == off.total_cycles
+        assert on.thread_cycles == off.thread_cycles
+        assert on.instructions == off.instructions
+        assert on.coherence == off.coherence
+        assert on.phase_stats.spans == off.phase_stats.spans
+        assert {p: dict(t) for p, t in on.phase_stats.busy.items()} == \
+               {p: dict(t) for p, t in off.phase_stats.busy.items()}
+        assert {p: dict(t) for p, t in on.phase_stats.wait.items()} == \
+               {p: dict(t) for p, t in off.phase_stats.wait.items()}
+        assert on.coherence_by_phase == off.coherence_by_phase
+
+    @pytest.mark.parametrize("name", sorted(PARITY_CONFIGS))
+    def test_knob_on_is_deterministic(self, name):
+        config = replace(PARITY_CONFIGS[name], fast_path=True)
+        prog = _parity_program()
+        a = Machine(config).run(prog)
+        b = Machine(config).run(prog)
+        assert a.total_cycles == b.total_cycles
+        assert a.thread_cycles == b.thread_cycles
+        assert a.coherence == b.coherence

@@ -1,0 +1,350 @@
+"""Differential proof: the fused fast path is cycle-exact.
+
+Every test runs the same trace program through two machines that differ
+only in ``fast_path`` and asserts the *complete* observable output is
+identical: total and per-thread cycles, per-phase busy/wait cycles and
+spans, instruction counts, protocol counters, and the per-phase coherence
+attribution.  The randomized programs mix thread-private and shared
+addresses, locks, barriers and phase markers; the hand-built traces target
+the specific hazards the fast path must detect (a private run whose L1
+fill would evict a shared line, a store immediately before a barrier).
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simx import (
+    Barrier,
+    Compute,
+    Load,
+    Lock,
+    Machine,
+    MachineConfig,
+    PhaseBegin,
+    PhaseEnd,
+    Store,
+    ThreadTrace,
+    TraceProgram,
+    Unlock,
+)
+from repro.simx.config import CacheConfig
+from repro.simx.fastpath import Burst, compile_program, supports_fast_path
+
+LINE = 64
+
+
+def tiny_config(**overrides) -> MachineConfig:
+    defaults = dict(
+        n_cores=4,
+        l1d=CacheConfig(size=8 * LINE, ways=2),  # 4 sets x 2 ways: evicts early
+        l1i=CacheConfig(size=8 * LINE, ways=2),
+        l2=CacheConfig(size=64 * LINE, ways=4, hit_latency=12),
+    )
+    defaults.update(overrides)
+    return MachineConfig(**defaults)
+
+
+CONFIGS = {
+    "baseline-tiny": tiny_config(),
+    "msi": tiny_config(coherence_protocol="msi"),
+    "mesh": tiny_config(interconnect="mesh"),
+    "asymmetric": tiny_config(core_perf_factors=(2.0, 1.0, 1.0, 1.0)),
+    "bigger-l1": tiny_config(l1d=CacheConfig(size=64 * LINE, ways=4)),
+}
+
+
+def run_both(program_factory, config: MachineConfig):
+    fast = Machine(replace(config, fast_path=True)).run(program_factory())
+    ref = Machine(replace(config, fast_path=False)).run(program_factory())
+    return fast, ref
+
+
+def assert_identical(fast, ref):
+    assert fast.total_cycles == ref.total_cycles
+    assert fast.thread_cycles == ref.thread_cycles
+    assert fast.instructions == ref.instructions
+    assert fast.coherence == ref.coherence
+    fs, rs = fast.phase_stats, ref.phase_stats
+    assert {p: dict(t) for p, t in fs.busy.items() if any(t.values())} == \
+           {p: dict(t) for p, t in rs.busy.items() if any(t.values())}
+    assert {p: dict(t) for p, t in fs.wait.items() if any(t.values())} == \
+           {p: dict(t) for p, t in rs.wait.items() if any(t.values())}
+    assert fs.spans == rs.spans
+    assert fast.coherence_by_phase == ref.coherence_by_phase
+
+
+# ── randomized programs ───────────────────────────────────────────────────
+#
+# Address space: each thread owns 16 private lines; 8 lines are shared by
+# everyone.  The strategy emits per-thread segment lists punctuated by the
+# same barrier/phase skeleton for every thread so programs never deadlock;
+# lock sections are non-nested (one lock at a time, FIFO handoff).
+
+
+@st.composite
+def trace_programs(draw):
+    n_threads = draw(st.integers(min_value=1, max_value=4))
+    n_rounds = draw(st.integers(min_value=1, max_value=3))
+    use_phases = draw(st.booleans())
+    threads = []
+    for tid in range(n_threads):
+        ops = []
+        if use_phases:
+            ops.append(PhaseBegin("work"))
+        for rnd in range(n_rounds):
+            n_ops = draw(st.integers(min_value=0, max_value=25))
+            for _ in range(n_ops):
+                kind = draw(
+                    st.sampled_from(
+                        ["compute", "pload", "pstore", "sload", "sstore", "lock"]
+                    )
+                )
+                if kind == "compute":
+                    ops.append(Compute(draw(st.integers(min_value=0, max_value=400))))
+                elif kind == "pload":
+                    idx = draw(st.integers(min_value=0, max_value=15))
+                    ops.append(Load((0x1000 + tid * 0x100 + idx) * LINE))
+                elif kind == "pstore":
+                    idx = draw(st.integers(min_value=0, max_value=15))
+                    ops.append(Store((0x1000 + tid * 0x100 + idx) * LINE))
+                elif kind == "sload":
+                    idx = draw(st.integers(min_value=0, max_value=7))
+                    ops.append(Load(idx * LINE))
+                elif kind == "sstore":
+                    idx = draw(st.integers(min_value=0, max_value=7))
+                    ops.append(Store(idx * LINE))
+                else:  # a short critical section on a shared counter
+                    lock_id = draw(st.integers(min_value=0, max_value=1))
+                    ops.append(Lock(lock_id))
+                    ops.append(Load((8 + lock_id) * LINE))
+                    ops.append(Store((8 + lock_id) * LINE))
+                    ops.append(Unlock(lock_id))
+            if rnd < n_rounds - 1 and n_threads > 1:
+                ops.append(Barrier(rnd))
+        if use_phases:
+            ops.append(PhaseEnd("work"))
+        threads.append(ops)
+    return threads
+
+
+def program_of(threads) -> TraceProgram:
+    return TraceProgram(
+        "diff", [ThreadTrace(i, list(ops)) for i, ops in enumerate(threads)]
+    )
+
+
+class TestRandomizedDifferential:
+    """>=200 randomized programs across the config matrix."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(threads=trace_programs())
+    def test_tiny_config(self, threads):
+        assert_identical(*run_both(lambda: program_of(threads), CONFIGS["baseline-tiny"]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(threads=trace_programs())
+    def test_msi(self, threads):
+        assert_identical(*run_both(lambda: program_of(threads), CONFIGS["msi"]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(threads=trace_programs())
+    def test_mesh(self, threads):
+        assert_identical(*run_both(lambda: program_of(threads), CONFIGS["mesh"]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(threads=trace_programs())
+    def test_asymmetric(self, threads):
+        assert_identical(*run_both(lambda: program_of(threads), CONFIGS["asymmetric"]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(threads=trace_programs())
+    def test_bigger_l1(self, threads):
+        assert_identical(*run_both(lambda: program_of(threads), CONFIGS["bigger-l1"]))
+
+
+# ── hand-built adversarial traces ─────────────────────────────────────────
+
+
+class TestAdversarialTraces:
+    def test_private_run_becomes_shared_mid_burst(self):
+        """A long private streaming run whose L1 fills must evict shared
+        lines: the burst has to bail *before* the evicting access."""
+
+        def make():
+            threads = []
+            for tid in range(2):
+                ops = []
+                for i in range(8):
+                    ops.append(Load(i * LINE))  # shared: fills the tiny L1
+                base = (0x1000 + tid * 0x100) * LINE
+                for i in range(16):  # private run evicting through every set
+                    ops.append(Load(base + i * LINE))
+                    ops.append(Store(base + i * LINE))
+                ops.append(Barrier(0))
+                for i in range(8):
+                    ops.append(Store(i * LINE))  # shared writes observe state
+                threads.append(ThreadTrace(tid, ops))
+            return TraceProgram("bail", threads)
+
+        for name, cfg in CONFIGS.items():
+            assert_identical(*run_both(make, cfg))
+
+    def test_store_immediately_before_barrier(self):
+        def make():
+            threads = []
+            for tid in range(3):
+                base = (0x1000 + tid * 0x100) * LINE
+                ops = [Compute(100 * (tid + 1))]
+                for b in range(3):
+                    for i in range(6):
+                        ops.append(Store(base + (i % 4) * LINE))
+                    ops.append(Store(base))
+                    ops.append(Barrier(b))
+                threads.append(ThreadTrace(tid, ops))
+            return TraceProgram("store-barrier", threads)
+
+        assert_identical(*run_both(make, CONFIGS["baseline-tiny"]))
+
+    def test_lock_handoff_between_private_runs(self):
+        def make():
+            threads = []
+            for tid in range(3):
+                base = (0x1000 + tid * 0x100) * LINE
+                ops = [PhaseBegin("reduction")]
+                for i in range(10):
+                    ops.append(Load(base + i * LINE))
+                ops.append(Lock(0))
+                ops.append(Load(0))
+                ops.append(Store(0))
+                ops.append(Unlock(0))
+                for i in range(10):
+                    ops.append(Store(base + i * LINE))
+                ops.append(PhaseEnd("reduction"))
+                threads.append(ThreadTrace(tid, ops))
+            return TraceProgram("lock-handoff", threads)
+
+        assert_identical(*run_both(make, CONFIGS["baseline-tiny"]))
+
+    def test_single_thread_all_private(self):
+        def make():
+            ops = [PhaseBegin("p")]
+            for i in range(200):
+                ops.append(Compute(i % 7))
+                ops.append(Load((0x1000 + i % 32) * LINE))
+                ops.append(Store((0x1000 + i % 16) * LINE))
+            ops.append(PhaseEnd("p"))
+            return TraceProgram("solo", [ThreadTrace(0, ops)])
+
+        for cfg in CONFIGS.values():
+            assert_identical(*run_both(make, cfg))
+
+    def test_false_sharing_same_line_different_offsets(self):
+        """Two threads write different bytes of one line — shared at line
+        granularity, so never fused."""
+
+        def make():
+            threads = []
+            for tid in range(2):
+                ops = [Store(0x4000 * LINE + tid * 8) for _ in range(20)]
+                threads.append(ThreadTrace(tid, ops))
+            return TraceProgram("false-sharing", threads)
+
+        fast, ref = run_both(make, CONFIGS["baseline-tiny"])
+        assert_identical(fast, ref)
+        comp = compile_program(make(), LINE)
+        assert comp.n_bursts == 0  # the line is shared: nothing may fuse
+
+
+# ── compilation invariants and gates ──────────────────────────────────────
+
+
+class TestCompilation:
+    def test_flattening_bursts_restores_the_original_ops(self):
+        prog_threads = [
+            [Compute(5), Load(0x1000 * LINE), Store(0x1000 * LINE), Barrier(0),
+             Load(0), Lock(0), Unlock(0), Compute(1), Compute(2)],
+            [Compute(3), Barrier(0), Load(0), Compute(9), Load(0x2000 * LINE),
+             Store(0x2000 * LINE)],
+        ]
+        prog = program_of(prog_threads)
+        comp = compile_program(prog, LINE)
+        for tid, lowered in enumerate(comp.thread_ops):
+            flat = []
+            for entry in lowered:
+                if isinstance(entry, Burst):
+                    assert len(entry.ops) >= 2
+                    assert all(type(o) in (Compute, Load, Store) for o in entry.ops)
+                    flat.extend(entry.ops)
+                else:
+                    flat.append(entry)
+            assert flat == prog_threads[tid]
+
+    def test_shared_lines_are_never_fused(self):
+        prog = program_of([[Load(0), Compute(1)], [Store(0), Compute(1)]])
+        comp = compile_program(prog, LINE)
+        assert comp.shared_lines == frozenset({0})
+        for lowered in comp.thread_ops:
+            for entry in lowered:
+                if isinstance(entry, Burst):
+                    assert all(type(o) is Compute for o in entry.ops)
+
+    def test_fused_op_accounting(self):
+        prog = program_of([[Compute(1), Compute(2), Compute(3)]])
+        comp = compile_program(prog, LINE)
+        assert comp.n_bursts == 1
+        assert comp.n_fused_ops == 3
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(fast_path=False),
+            dict(dram="banked"),
+            dict(prefetch_next_line=True),
+            dict(bus_occupancy=2),
+        ],
+        ids=["knob-off", "banked-dram", "prefetch", "contended-bus"],
+    )
+    def test_unsafe_configs_fall_back(self, overrides):
+        cfg = tiny_config(**overrides)
+        assert not supports_fast_path(cfg)
+
+    def test_max_cycles_forces_reference_path(self):
+        cfg = tiny_config()
+        assert supports_fast_path(cfg, max_cycles=None)
+        assert not supports_fast_path(cfg, max_cycles=10_000)
+        # and the watchdog still fires
+        prog = program_of([[Compute(1000) for _ in range(100)]])
+        with pytest.raises(RuntimeError, match="max_cycles"):
+            Machine(cfg).run(prog, max_cycles=50)
+
+    def test_contended_bus_still_identical(self):
+        """Gated configs run the reference path under both knob settings —
+        results must (trivially) stay identical."""
+
+        def make():
+            threads = []
+            for tid in range(2):
+                base = (0x1000 + tid * 0x100) * LINE
+                ops = [Load(base + i * LINE) for i in range(20)]
+                threads.append(ThreadTrace(tid, ops))
+            return TraceProgram("contended", threads)
+
+        assert_identical(*run_both(make, tiny_config(bus_occupancy=3)))
+
+    def test_mesh_and_msi_combined(self):
+        def make():
+            threads = []
+            for tid in range(4):
+                base = (0x1000 + tid * 0x100) * LINE
+                ops = []
+                for i in range(15):
+                    ops.append(Store(base + (i % 8) * LINE))
+                    ops.append(Load((i % 4) * LINE))
+                threads.append(ThreadTrace(tid, ops))
+            return TraceProgram("mesh-msi", threads)
+
+        cfg = tiny_config(interconnect="mesh", coherence_protocol="msi")
+        assert_identical(*run_both(make, cfg))
