@@ -9,12 +9,19 @@ the generator's hop scaling) — and prints the resulting parameter tables.
 Takes tens of seconds at the default mem_scale=2; use --mem-scale 1 for
 exact (undersampled-free) memory traces at a few minutes.
 
-Run:  python scripts/run_full_scale.py [--threads 1,2,4,8,16]
+``--parallel N`` runs the sweeps on N worker processes via
+``repro.engine``: both experiments' units are gathered up front,
+globally deduplicated (Table II and Fig 2 share their entire sweep), and
+the misses execute concurrently; the reports are byte-identical to a
+serial run.  See docs/engine.md.
+
+Run:  python scripts/run_full_scale.py [--threads 1,2,4,8,16] [--parallel 8]
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 
@@ -25,19 +32,36 @@ def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--threads", default="1,2,4,8,16")
     parser.add_argument("--mem-scale", type=int, default=2)
+    parser.add_argument("--parallel", type=int, default=None, metavar="N",
+                        help="run the sweeps on N engine worker processes")
+    parser.add_argument("--event-log", default=None, metavar="PATH",
+                        help="with --parallel: append engine events as JSONL")
     args = parser.parse_args()
     threads = tuple(int(t) for t in args.threads.split(","))
+    options = dict(scale=1.0, thread_counts=threads, mem_scale=args.mem_scale)
 
-    for eid, options in (
-        ("table2", dict(scale=1.0, thread_counts=threads, mem_scale=args.mem_scale)),
-        ("fig2", dict(scale=1.0, thread_counts=threads, mem_scale=args.mem_scale)),
-    ):
-        print(f"== {eid} at full scale ==", flush=True)
-        t0 = time.time()
-        report = run_experiment(eid, **options)
-        print(report.render())
-        status = "all claims hold" if report.all_match else "SOME CLAIMS FAILED"
-        print(f"[{eid}: {status}; {time.time() - t0:.0f}s]\n", flush=True)
+    if args.parallel is not None:
+        from repro import engine
+
+        context = engine.session(args.parallel, event_log=args.event_log)
+    else:
+        context = contextlib.nullcontext(None)
+
+    with context as sess:
+        if sess is not None:
+            from repro.engine import precompute
+
+            t0 = time.time()
+            n = precompute(sess, ("table2", "fig2"), options)
+            print(f"[precomputed {n} declared units in {time.time() - t0:.0f}s; "
+                  f"engine: {sess.summary()}]\n", flush=True)
+        for eid in ("table2", "fig2"):
+            print(f"== {eid} at full scale ==", flush=True)
+            t0 = time.time()
+            report = run_experiment(eid, **options)
+            print(report.render())
+            status = "all claims hold" if report.all_match else "SOME CLAIMS FAILED"
+            print(f"[{eid}: {status}; {time.time() - t0:.0f}s]\n", flush=True)
     return 0
 
 

@@ -3,9 +3,15 @@
 Subcommands
 -----------
 ``list``
-    Show the available experiments.
-``run <id> [--csv] [--scale S]``
-    Run one experiment (or ``all``) and print its report.
+    Show the available experiments with one-line descriptions.
+``run <id> [--csv] [--scale S] [--parallel N]``
+    Run one experiment (or ``all``) and print its report.  ``--parallel``
+    executes simulator sweeps on N worker processes via
+    :mod:`repro.engine`; reports are byte-identical to serial runs.
+``runall [--parallel N]``
+    Run every experiment with one globally-deduplicated parallel
+    precompute pass (Table II and Fig 2 share their entire sweep, so it
+    runs once).
 ``predict --f F --fcon C --fored O [...]``
     One-off speedup prediction for an application you characterise on the
     command line — the library's headline use case without writing code.
@@ -18,11 +24,16 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.core import merging, optimizer
 from repro.core.params import AppParams
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    describe_experiment,
+    run_experiment,
+)
 from repro.util.logging import configure, get_logger
 
 __all__ = ["main", "build_parser"]
@@ -56,6 +67,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write each report as JSON into DIR")
     run_p.add_argument("--no-sweep-cache", action="store_true",
                        help="skip the on-disk simulation sweep cache")
+    run_p.add_argument("--parallel", type=int, default=None, metavar="N",
+                       help="run simulator sweeps on N worker processes "
+                            "(reports stay byte-identical to serial runs)")
+    run_p.add_argument("--event-log", metavar="PATH", default=None,
+                       help="with --parallel: append engine events "
+                            "(dispatch, cache hits, crashes, ETA) as JSONL")
+
+    runall_p = sub.add_parser(
+        "runall",
+        help="run every experiment, precomputing all sweeps on a worker pool",
+    )
+    runall_p.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="worker processes (default: one per CPU, capped at 8)",
+    )
+    runall_p.add_argument("--scale", type=float, default=None,
+                          help="dataset scale for simulator-backed experiments (0..1]")
+    runall_p.add_argument("--csv", action="store_true", help="emit tables as CSV")
+    runall_p.add_argument("--json", metavar="DIR", default=None,
+                          help="also write each report as JSON into DIR")
+    runall_p.add_argument("--no-sweep-cache", action="store_true",
+                          help="skip the on-disk simulation sweep cache")
+    runall_p.add_argument("--event-log", metavar="PATH", default=None,
+                          help="append engine events as JSONL")
 
     pred = sub.add_parser("predict", help="speedup prediction for custom parameters")
     pred.add_argument("--f", type=float, required=True, help="parallel fraction")
@@ -115,8 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
     for name in sorted(EXPERIMENTS):
-        print(name)
+        print(f"{name:{width}}  {describe_experiment(name)}".rstrip())
     return 0
 
 
@@ -132,13 +168,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    if args.no_sweep_cache:
-        from repro.experiments import simsweep
+def _all_experiment_ids() -> list:
+    return sorted(k for k in EXPERIMENTS if not k.startswith("ablation-"))
 
-        simsweep.set_disk_store(None)
-    ids = sorted(k for k in EXPERIMENTS if not k.startswith("ablation-")) \
-        if args.experiment == "all" else [args.experiment]
+
+def _engine_context(args: argparse.Namespace):
+    """An installed engine session when ``--parallel`` was given, else a
+    no-op context yielding None."""
+    if getattr(args, "parallel", None) is None:
+        return contextlib.nullcontext(None)
+    from repro import engine
+
+    return engine.session(args.parallel, event_log=args.event_log)
+
+
+def _print_reports(ids, args: argparse.Namespace) -> bool:
+    """Run and print each experiment; True when any comparison failed."""
     failed = False
     for eid in ids:
         options = {}
@@ -152,7 +197,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             print(report.render())
             print()
-        if args.plot:
+        if getattr(args, "plot", False):
             from repro.viz.report_plots import render_report_charts
 
             charts = render_report_charts(report)
@@ -169,6 +214,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if not report.all_match:
             failed = True
             log.warning("experiment %s: some paper comparisons did not hold", eid)
+    return failed
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.no_sweep_cache:
+        from repro.experiments import simsweep
+
+        simsweep.set_disk_store(None)
+    ids = _all_experiment_ids() if args.experiment == "all" else [args.experiment]
+    with _engine_context(args) as sess:
+        if sess is not None:
+            from repro.engine import precompute
+
+            options = {} if args.scale is None else {"scale": args.scale}
+            precompute(sess, ids, options)
+        failed = _print_reports(ids, args)
+        if sess is not None:
+            log.info("engine: %s", sess.summary())
+    return 1 if failed else 0
+
+
+def _cmd_runall(args: argparse.Namespace) -> int:
+    if args.no_sweep_cache:
+        from repro.experiments import simsweep
+
+        simsweep.set_disk_store(None)
+    from repro import engine
+
+    ids = _all_experiment_ids()
+    with engine.session(args.parallel, event_log=args.event_log) as sess:
+        options = {} if args.scale is None else {"scale": args.scale}
+        engine.precompute(sess, ids, options)
+        failed = _print_reports(ids, args)
+        print(f"[{len(ids)} experiments; engine: {sess.summary()}]")
     return 1 if failed else 0
 
 
@@ -266,6 +345,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "runall":
+        return _cmd_runall(args)
     if args.command == "predict":
         return _cmd_predict(args)
     if args.command == "characterize":

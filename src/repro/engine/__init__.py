@@ -1,0 +1,57 @@
+"""``repro.engine`` — parallel experiment orchestration.
+
+A work-unit scheduler plus a fault-tolerant multiprocess worker pool
+that parallelizes experiment execution end to end while keeping reports
+**byte-identical** to serial runs (see ``docs/engine.md``):
+
+* experiments declare their sweeps as content-hashed
+  :class:`~repro.engine.units.WorkUnit`\\ s (the hash doubles as the
+  on-disk sweep-cache key);
+* the :class:`~repro.engine.scheduler.EngineSession` deduplicates units
+  within a batch and against both cache tiers, dispatches the misses
+  across N worker processes, and merges results deterministically;
+* the :class:`~repro.engine.pool.WorkerPool` survives worker deaths —
+  per-unit timeouts, bounded retry with backoff, and a killed worker
+  loses only its single in-flight unit — degrading to in-process serial
+  execution when ``multiprocessing`` is unavailable;
+* everything observable flows through an
+  :class:`~repro.engine.events.EventLog` (progress, ETA, cache hits,
+  crashes), mirrored to ``repro.util.logging`` and optionally to JSONL.
+
+Typical use is via the CLI (``repro run <id> --parallel N``,
+``repro runall``) or::
+
+    from repro import engine
+
+    with engine.session(n_workers=4) as sess:
+        engine.precompute(sess, ["table2", "fig2"], {"scale": 0.15})
+        report = run_experiment("table2")   # hot caches, serial semantics
+"""
+
+from repro.engine.events import EngineEvent, EventLog
+from repro.engine.pool import (
+    EngineError,
+    PoolUnavailable,
+    SerialPool,
+    UnitFailure,
+    WorkerPool,
+    default_workers,
+)
+from repro.engine.scheduler import EngineSession, precompute, session
+from repro.engine.units import WorkUnit, register_executor
+
+__all__ = [
+    "EngineError",
+    "EngineEvent",
+    "EngineSession",
+    "EventLog",
+    "PoolUnavailable",
+    "SerialPool",
+    "UnitFailure",
+    "WorkUnit",
+    "WorkerPool",
+    "default_workers",
+    "precompute",
+    "register_executor",
+    "session",
+]

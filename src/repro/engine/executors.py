@@ -1,0 +1,28 @@
+"""Built-in work-unit executors.
+
+Imported lazily by :func:`repro.engine.units.resolve_executor` — in the
+parent on the serial path, or inside a worker process on first miss —
+so worker startup does not pay for the experiments stack until a unit
+actually needs it.  Executors must be pure functions of their spec and
+return a JSON-serialisable dict (the payload crosses the result queue
+and may be persisted in the sweep store).
+"""
+
+from __future__ import annotations
+
+from repro.engine.units import register_executor
+
+__all__ = ["SWEEP_POINT"]
+
+#: one simulator run: (workload, n_threads, mem_scale, machine-config)
+SWEEP_POINT = "sweep-point"
+
+
+def _run_sweep_point(spec: tuple) -> dict:
+    from repro.experiments import simsweep
+
+    workload, n_threads, mem_scale, config = spec
+    return simsweep.execute_sweep_point(workload, n_threads, mem_scale, config)
+
+
+register_executor(SWEEP_POINT, _run_sweep_point)

@@ -1,0 +1,381 @@
+"""Fault-tolerant worker pools.
+
+Two implementations behind one interface (``run(units, on_result=...)``):
+
+* :class:`WorkerPool` — N long-lived worker *processes*.  The design
+  choice that buys fault tolerance is **one task queue per worker with
+  at most one unit outstanding**: the parent always knows exactly which
+  unit each worker holds, so a dead worker (``kill -9``, OOM, segfault,
+  per-unit timeout) loses *only* its in-flight unit.  That unit is
+  retried on a freshly spawned worker with bounded exponential backoff;
+  a unit that keeps killing workers eventually fails the run with
+  :class:`UnitFailure` instead of hanging it.
+* :class:`SerialPool` — same contract, current process, no dependencies.
+  The scheduler degrades to it when ``multiprocessing`` is unavailable
+  or refuses to start (:class:`PoolUnavailable`), when only one worker
+  is requested, or when ``REPRO_ENGINE_SERIAL`` is set.
+
+Failure taxonomy: worker *deaths* are environmental, so they are
+retried; executor *exceptions* are deterministic, so they travel back as
+tracebacks and fail fast — retrying a ``ValueError`` would just raise it
+again, slower.
+
+Work units are assumed **pure** (their content hash is their identity),
+which is what makes retries and duplicate late results safe: executing a
+unit twice yields the same payload, so the first result to arrive wins
+and every later one is dropped.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import time
+import traceback
+from collections import deque
+from typing import Callable, Iterable
+
+try:  # gracefully degrade on platforms without multiprocessing
+    import multiprocessing as _mp
+except ImportError:  # pragma: no cover - CPython always ships it
+    _mp = None
+
+from repro.engine.events import EventLog
+from repro.engine.units import WorkUnit, execute
+
+__all__ = [
+    "EngineError",
+    "UnitFailure",
+    "PoolUnavailable",
+    "SerialPool",
+    "WorkerPool",
+    "default_workers",
+]
+
+#: parent polling granularity; bounds crash/timeout detection latency
+_POLL_S = 0.05
+
+
+class EngineError(RuntimeError):
+    """Base class for engine failures."""
+
+
+class UnitFailure(EngineError):
+    """A work unit could not be completed (exception or repeated crashes)."""
+
+    def __init__(self, unit: WorkUnit, reason: str):
+        self.key = unit.key
+        self.label = unit.describe()
+        self.reason = reason
+        super().__init__(f"work unit {self.label} failed: {reason}")
+
+
+class PoolUnavailable(EngineError):
+    """Worker processes cannot be created on this platform/configuration."""
+
+
+def default_workers() -> int:
+    """Default pool width: one per CPU, capped (parent merges serially)."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def _worker_main(worker_id: int, task_q, result_q) -> None:
+    """Worker loop: one unit at a time until the ``None`` sentinel."""
+    while True:
+        try:
+            task = task_q.get()
+        except (EOFError, OSError):  # parent went away / queue closed
+            return
+        if task is None:
+            return
+        key, kind, spec = task
+        try:
+            payload = execute(kind, spec)
+            result_q.put((worker_id, key, True, payload))
+        except BaseException:  # noqa: BLE001 - full traceback to the parent
+            try:
+                result_q.put((worker_id, key, False, traceback.format_exc(limit=30)))
+            except Exception:  # pragma: no cover - result queue gone
+                return
+
+
+class SerialPool:
+    """In-process execution with the pool interface (the degraded mode)."""
+
+    n_workers = 1
+
+    def __init__(self, events: "EventLog | None" = None):
+        self.events = events if events is not None else EventLog()
+
+    def run(
+        self,
+        units: Iterable[WorkUnit],
+        on_result: "Callable[[str, dict], None] | None" = None,
+    ) -> dict[str, dict]:
+        results: dict[str, dict] = {}
+        for unit in units:
+            if unit.key in results:
+                continue
+            self.events.emit("unit_dispatched", key=unit.key,
+                             label=unit.describe(), worker=-1, attempt=0)
+            started = time.monotonic()
+            try:
+                payload = execute(unit.kind, unit.spec)
+            except Exception as exc:
+                raise UnitFailure(unit, f"{type(exc).__name__}: {exc}") from exc
+            results[unit.key] = payload
+            self.events.emit("unit_done", key=unit.key, label=unit.describe(),
+                             worker=-1,
+                             seconds=round(time.monotonic() - started, 4))
+            if on_result is not None:
+                on_result(unit.key, payload)
+        return results
+
+    def close(self) -> None:
+        pass
+
+
+class _WorkerSlot:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = ("proc", "task_q", "unit", "deadline")
+
+    def __init__(self, proc, task_q):
+        self.proc = proc
+        self.task_q = task_q
+        self.unit: "WorkUnit | None" = None  # the one in-flight unit
+        self.deadline: "float | None" = None
+
+
+class WorkerPool:
+    """N worker processes with per-unit timeout and crash retry."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        unit_timeout: "float | None" = 600.0,
+        max_retries: int = 2,
+        backoff: float = 0.25,
+        start_method: "str | None" = None,
+        events: "EventLog | None" = None,
+    ):
+        if _mp is None:
+            raise PoolUnavailable("multiprocessing is not importable")
+        self.n_workers = max(1, int(n_workers))
+        self.unit_timeout = unit_timeout
+        self.max_retries = max(0, int(max_retries))
+        self.backoff = backoff
+        self.start_method = start_method
+        self.events = events if events is not None else EventLog()
+        self._ctx = None
+        self._result_q = None
+        self._slots: dict[int, _WorkerSlot] = {}
+        self._next_worker_id = 0
+
+    # ── lifecycle ─────────────────────────────────────────────────────────
+
+    def _start(self) -> None:
+        method = self.start_method or os.environ.get("REPRO_ENGINE_START_METHOD")
+        try:
+            if method:
+                self._ctx = _mp.get_context(method)
+            elif "fork" in _mp.get_all_start_methods():
+                # fork: cheap worker startup and parent-registered executors
+                # are inherited; spawn re-imports only the built-ins.
+                self._ctx = _mp.get_context("fork")
+            else:  # pragma: no cover - non-fork platforms
+                self._ctx = _mp.get_context()
+            self._result_q = self._ctx.Queue()
+            for _ in range(self.n_workers):
+                self._spawn()
+        except (OSError, ValueError, RuntimeError) as exc:
+            self._teardown()
+            raise PoolUnavailable(f"cannot start worker processes: {exc}") from exc
+
+    def _spawn(self) -> int:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_q = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, task_q, self._result_q),
+            name=f"repro-engine-worker-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        self._slots[worker_id] = _WorkerSlot(proc, task_q)
+        self.events.emit("worker_started", worker=worker_id, pid=proc.pid)
+        return worker_id
+
+    def _replace(self, worker_id: int) -> None:
+        """Respawn a dead/killed worker (its slot is already forgotten)."""
+        slot = self._slots.pop(worker_id, None)
+        if slot is not None:
+            try:
+                slot.task_q.close()
+                slot.task_q.cancel_join_thread()
+            except (OSError, AttributeError):
+                pass
+        fresh = self._spawn()
+        self.events.emit("worker_restarted", worker=fresh, replaces=worker_id)
+
+    def close(self) -> None:
+        """Shut workers down (sentinel, then SIGKILL stragglers)."""
+        for slot in self._slots.values():
+            try:
+                slot.task_q.put(None)
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for slot in self._slots.values():
+            slot.proc.join(max(0.0, deadline - time.monotonic()))
+            if slot.proc.is_alive():
+                slot.proc.kill()
+                slot.proc.join(1.0)
+            try:
+                slot.task_q.close()
+                slot.task_q.cancel_join_thread()
+            except (OSError, AttributeError):
+                pass
+        if self._result_q is not None:
+            try:
+                self._result_q.close()
+                self._result_q.cancel_join_thread()
+            except (OSError, AttributeError):
+                pass
+        if self._slots or self._result_q is not None:
+            self.events.emit("pool_closed", workers=len(self._slots))
+        self._slots = {}
+        self._result_q = None
+
+    def _teardown(self) -> None:
+        for slot in self._slots.values():
+            if slot.proc.is_alive():
+                slot.proc.kill()
+        self._slots = {}
+        self._result_q = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ── execution ─────────────────────────────────────────────────────────
+
+    def run(
+        self,
+        units: Iterable[WorkUnit],
+        on_result: "Callable[[str, dict], None] | None" = None,
+    ) -> dict[str, dict]:
+        """Execute all units; returns ``{key: payload}``.
+
+        Raises :class:`UnitFailure` on an executor exception or when a
+        unit exhausts its crash retries, and :class:`PoolUnavailable` if
+        workers cannot be started at all (no units were run in that
+        case, so the caller may rerun the same batch serially).
+        """
+        by_key: dict[str, WorkUnit] = {}
+        for u in units:
+            by_key.setdefault(u.key, u)
+        if not by_key:
+            return {}
+        if self._result_q is None:
+            self._start()
+
+        ready: deque[str] = deque(by_key)
+        delayed: list[tuple[float, str]] = []  # (eligible_at, key)
+        attempts: dict[str, int] = {k: 0 for k in by_key}
+        results: dict[str, dict] = {}
+
+        def settle(key: str, payload: dict) -> None:
+            results[key] = payload
+            if on_result is not None:
+                on_result(key, payload)
+
+        def crashed(worker_id: int, slot: _WorkerSlot, cause: str) -> None:
+            unit = slot.unit
+            self.events.emit(
+                "worker_crashed", worker=worker_id, cause=cause,
+                exitcode=slot.proc.exitcode,
+                key=unit.key if unit else None,
+                label=unit.describe() if unit else None,
+            )
+            self._replace(worker_id)
+            if unit is None or unit.key in results:
+                return
+            attempts[unit.key] += 1
+            if attempts[unit.key] > self.max_retries:
+                raise UnitFailure(
+                    unit,
+                    f"worker died {attempts[unit.key]} time(s) running it "
+                    f"(last cause: {cause}); retry budget {self.max_retries} "
+                    "exhausted",
+                )
+            delay = self.backoff * (2 ** (attempts[unit.key] - 1))
+            delayed.append((time.monotonic() + delay, unit.key))
+            self.events.emit("unit_retry", key=unit.key, label=unit.describe(),
+                             attempt=attempts[unit.key], delay_s=round(delay, 3))
+
+        while len(results) < len(by_key):
+            now = time.monotonic()
+            # mature delayed retries back into the ready queue
+            still: list[tuple[float, str]] = []
+            for eligible_at, key in delayed:
+                if eligible_at <= now:
+                    ready.append(key)
+                else:
+                    still.append((eligible_at, key))
+            delayed = still
+            # hand a unit to every idle worker
+            for worker_id, slot in self._slots.items():
+                if slot.unit is not None:
+                    continue
+                while ready:
+                    key = ready.popleft()
+                    if key not in results:  # skip late-settled duplicates
+                        unit = by_key[key]
+                        slot.unit = unit
+                        slot.deadline = (
+                            now + self.unit_timeout if self.unit_timeout else None
+                        )
+                        slot.task_q.put((unit.key, unit.kind, unit.spec))
+                        self.events.emit(
+                            "unit_dispatched", key=key, label=unit.describe(),
+                            worker=worker_id, attempt=attempts[key],
+                        )
+                        break
+            # collect one result (short timeout keeps the loop responsive)
+            try:
+                worker_id, key, ok, payload = self._result_q.get(timeout=_POLL_S)
+            except (queue_mod.Empty, EOFError, OSError):
+                pass
+            else:
+                slot = self._slots.get(worker_id)
+                if slot is not None and slot.unit is not None and slot.unit.key == key:
+                    slot.unit = None
+                    slot.deadline = None
+                if key in by_key and key not in results:
+                    if ok:
+                        settle(key, payload)
+                        self.events.emit("unit_done", key=key,
+                                         label=by_key[key].describe(),
+                                         worker=worker_id)
+                    else:
+                        raise UnitFailure(by_key[key], f"executor raised:\n{payload}")
+            # detect dead workers and expired deadlines
+            now = time.monotonic()
+            for worker_id, slot in list(self._slots.items()):
+                if not slot.proc.is_alive():
+                    crashed(worker_id, slot, "process died")
+                elif slot.deadline is not None and now > slot.deadline:
+                    self.events.emit(
+                        "unit_timeout", key=slot.unit.key,
+                        label=slot.unit.describe(), worker=worker_id,
+                        timeout_s=self.unit_timeout,
+                    )
+                    slot.proc.kill()
+                    slot.proc.join(1.0)
+                    crashed(worker_id, slot, "unit timeout")
+        return results

@@ -1,0 +1,259 @@
+"""The work-unit scheduler and engine session.
+
+:class:`EngineSession` is the orchestration entry point: it owns one
+pool (created lazily, reused across batches, torn down on ``close``) and
+one :class:`~repro.engine.events.EventLog`, and its :meth:`run_units`
+implements the scheduling contract:
+
+1. **dedupe within the batch** — units with equal content keys collapse
+   to one execution;
+2. **dedupe against caches** — the caller supplies ``cache_get`` /
+   ``cache_put`` hooks (e.g. :mod:`repro.experiments.simsweep` checks
+   its in-process memo and the on-disk
+   :class:`~repro.experiments.store.SweepStore`); hits never reach a
+   worker, and fresh results are written back *as they land*, so a
+   concurrent run on another process benefits immediately;
+3. **dispatch misses** across the pool and return ``{key: payload}``.
+
+Determinism: results are keyed by content hash and units are pure, so
+callers rebuild their outputs in *their own* iteration order — the
+completion order of workers never leaks into a report.  A parallel run
+is byte-identical to a serial one by construction.
+
+Degradation: if worker processes cannot start (restricted platforms,
+``multiprocessing`` missing) or ``REPRO_ENGINE_SERIAL`` is set, the
+session falls back to in-process serial execution and says so on the
+event stream — a parallel flag can never make a run *fail*, only
+faster.
+
+:func:`session` is the convenience context manager the CLI uses: it
+installs the session as the ambient engine for
+:func:`repro.experiments.simsweep.simulate_breakdowns` and guarantees
+teardown.  :func:`precompute` warms both cache tiers for the declared
+sweeps of a set of experiments in one globally-deduplicated batch.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.engine.events import EventLog
+from repro.engine.pool import (
+    PoolUnavailable,
+    SerialPool,
+    WorkerPool,
+    default_workers,
+)
+from repro.engine.units import WorkUnit
+from repro.util.logging import get_logger
+
+__all__ = ["EngineSession", "session", "precompute"]
+
+log = get_logger("engine")
+
+
+def _serial_forced() -> bool:
+    return os.environ.get("REPRO_ENGINE_SERIAL", "").lower() in (
+        "1", "on", "yes", "true",
+    )
+
+
+class EngineSession:
+    """One parallel-execution session: a pool, an event log, counters."""
+
+    def __init__(
+        self,
+        n_workers: "int | None" = None,
+        *,
+        unit_timeout: "float | None" = 600.0,
+        max_retries: int = 2,
+        backoff: float = 0.25,
+        start_method: "str | None" = None,
+        events: "EventLog | None" = None,
+    ):
+        self.n_workers = default_workers() if n_workers is None else max(1, int(n_workers))
+        self.unit_timeout = unit_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.start_method = start_method
+        self.events = events if events is not None else EventLog()
+        self.stats = {"units": 0, "deduped": 0, "cache_hits": 0, "executed": 0}
+        self._pool: "WorkerPool | SerialPool | None" = None
+
+    # ── pool management ───────────────────────────────────────────────────
+
+    def _make_pool(self) -> "WorkerPool | SerialPool":
+        if self.n_workers <= 1 or _serial_forced():
+            reason = ("REPRO_ENGINE_SERIAL is set" if _serial_forced()
+                      else "single worker requested")
+            self.events.emit("serial_fallback", reason=reason)
+            return SerialPool(events=self.events)
+        return WorkerPool(
+            self.n_workers,
+            unit_timeout=self.unit_timeout,
+            max_retries=self.max_retries,
+            backoff=self.backoff,
+            start_method=self.start_method,
+            events=self.events,
+        )
+
+    def _degrade(self, reason: str) -> SerialPool:
+        self.events.emit("serial_fallback", reason=reason)
+        self._pool = SerialPool(events=self.events)
+        return self._pool
+
+    # ── scheduling ────────────────────────────────────────────────────────
+
+    def run_units(
+        self,
+        units: Iterable[WorkUnit],
+        *,
+        cache_get: "Callable[[WorkUnit], dict | None] | None" = None,
+        cache_put: "Callable[[WorkUnit, dict], None] | None" = None,
+    ) -> dict[str, dict]:
+        """Dedupe, consult caches, execute misses; ``{key: payload}``."""
+        units = list(units)
+        unique: dict[str, WorkUnit] = {}
+        for u in units:
+            unique.setdefault(u.key, u)
+        self.stats["units"] += len(units)
+        self.stats["deduped"] += len(units) - len(unique)
+
+        results: dict[str, dict] = {}
+        misses: list[WorkUnit] = []
+        for key, unit in unique.items():
+            payload = cache_get(unit) if cache_get is not None else None
+            if payload is not None:
+                results[key] = payload
+                self.stats["cache_hits"] += 1
+                self.events.emit("cache_hit", key=key, label=unit.describe())
+            else:
+                misses.append(unit)
+        if not misses:
+            return results
+
+        total = len(misses)
+        done = 0
+        started = time.monotonic()
+        self.events.emit("batch_start", units=len(units), unique=len(unique),
+                         cache_hits=len(results), to_execute=total,
+                         workers=self.n_workers)
+
+        def on_result(key: str, payload: dict) -> None:
+            nonlocal done
+            done += 1
+            if cache_put is not None:
+                try:
+                    cache_put(unique[key], payload)
+                except Exception as exc:  # a cache write must not kill the run
+                    self.events.emit("cache_put_failed", key=key,
+                                     error=f"{type(exc).__name__}: {exc}")
+            elapsed = time.monotonic() - started
+            eta = elapsed / done * (total - done)
+            self.events.emit("progress", done=done, total=total,
+                             elapsed_s=round(elapsed, 2), eta_s=round(eta, 2))
+
+        if self._pool is None:
+            self._pool = self._make_pool()
+        try:
+            executed = self._pool.run(misses, on_result=on_result)
+        except PoolUnavailable as exc:
+            # no unit ran (startup failed before dispatch): rerun serially
+            executed = self._degrade(str(exc)).run(misses, on_result=on_result)
+        results.update(executed)
+        self.stats["executed"] += total
+        self.events.emit("batch_done", executed=total,
+                         seconds=round(time.monotonic() - started, 3))
+        return results
+
+    def summary(self) -> str:
+        """One line for the CLI: units, hits, executions, recoveries."""
+        s = self.stats
+        parts = [
+            f"{s['units']} unit(s): {s['cache_hits']} cache hit(s), "
+            f"{s['executed']} executed on {self.n_workers} worker(s)"
+        ]
+        if s["deduped"]:
+            parts.append(f"{s['deduped']} deduplicated")
+        retries = self.events.count("unit_retry")
+        crashes = self.events.count("worker_crashed")
+        if crashes:
+            parts.append(f"{crashes} worker crash(es), {retries} unit retry(ies)")
+        return "; ".join(parts)
+
+    # ── lifecycle ─────────────────────────────────────────────────────────
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self.events.close()
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@contextlib.contextmanager
+def session(
+    n_workers: "int | None" = None,
+    *,
+    event_log: "str | None" = None,
+    install: bool = True,
+    **pool_options,
+) -> Iterator[EngineSession]:
+    """An :class:`EngineSession`, installed as the ambient engine.
+
+    While the context is active, :func:`repro.experiments.simsweep
+    .simulate_breakdowns` routes its cache misses through the session's
+    worker pool, so *any* experiment driver parallelizes without code
+    changes.  ``event_log`` additionally appends every engine event to a
+    JSONL file.  Pass ``install=False`` to drive the session manually.
+    """
+    sess = EngineSession(n_workers, events=EventLog(jsonl_path=event_log),
+                         **pool_options)
+    if install:
+        from repro.experiments import simsweep
+
+        simsweep.set_engine(sess)
+    try:
+        yield sess
+    finally:
+        if install:
+            from repro.experiments import simsweep
+
+            simsweep.set_engine(None)
+        sess.close()
+
+
+def precompute(
+    sess: EngineSession,
+    experiment_ids: Iterable[str],
+    options: "Mapping[str, object] | None" = None,
+) -> int:
+    """Warm both cache tiers for the declared sweeps of ``experiment_ids``.
+
+    Collects every work unit the experiments declare (see
+    ``SWEEP_DECLARATIONS`` in :mod:`repro.experiments.registry`),
+    deduplicates them *globally* — Table II and Fig 2 share their entire
+    sweep, so it runs once — and executes the misses across the pool.
+    The drivers then run serially against hot caches, which is what
+    makes a parallel report byte-identical to a serial one.  Returns the
+    number of units declared.
+    """
+    from repro.experiments import simsweep
+    from repro.experiments.registry import declare_units
+
+    units: list[WorkUnit] = []
+    for eid in experiment_ids:
+        units.extend(declare_units(eid, **dict(options or {})))
+    if units:
+        log.info("precomputing %d declared sweep unit(s) on %d worker(s)",
+                 len(units), sess.n_workers)
+        simsweep.precompute_units(sess, units)
+    return len(units)

@@ -17,7 +17,7 @@ import numpy as np
 from repro.core import measured as measured_model
 from repro.core.accuracy import evaluate_accuracy
 from repro.experiments.report import ExperimentReport, PaperComparison, series_table
-from repro.experiments.simsweep import default_workloads, simulate_breakdowns
+from repro.experiments.simsweep import default_workloads, simulate_breakdowns, sweep_units
 from repro.hardware.executor import execute_workload
 from repro.workloads.instrument import (
     extract_parameters,
@@ -25,7 +25,21 @@ from repro.workloads.instrument import (
     speedup_curve,
 )
 
-__all__ = ["run"]
+__all__ = ["run", "declare_units"]
+
+
+def declare_units(
+    scale: float = 0.15,
+    thread_counts: tuple = (1, 2, 4, 8, 16),
+    mem_scale: int = 2,
+) -> list:
+    """Fig 2's simulator sweep as engine work units — identical to
+    Table II's, which is exactly why the engine's global dedup pays off;
+    the panel-(c) hardware runs are not simulator work and stay serial."""
+    units = []
+    for workload in default_workloads(scale).values():
+        units.extend(sweep_units(workload, thread_counts, mem_scale=mem_scale))
+    return units
 
 
 def run(

@@ -1,7 +1,9 @@
-"""Experiment registry: id → driver."""
+"""Experiment registry: id → driver, plus option validation, one-line
+descriptions, and the sweep declarations the parallel engine precomputes."""
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Mapping
 
 from repro.experiments import ablations, conclusions, extensions, falsesharing
@@ -10,7 +12,15 @@ from repro.experiments import fig1_fig6, fig2, fig3, fig4, fig5, fig7
 from repro.experiments import table1, table2, table3, table4
 from repro.experiments.report import ExperimentReport
 
-__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "SWEEP_DECLARATIONS",
+    "get_experiment",
+    "run_experiment",
+    "validate_options",
+    "describe_experiment",
+    "declare_units",
+]
 
 EXPERIMENTS: Mapping[str, Callable[..., ExperimentReport]] = {
     "table1": table1.run,
@@ -42,6 +52,17 @@ EXPERIMENTS: Mapping[str, Callable[..., ExperimentReport]] = {
     "conclusions": conclusions.run,
 }
 
+#: id → declarer returning the experiment's simulator sweep as engine
+#: :class:`~repro.engine.units.WorkUnit`\ s (same defaults and cache keys
+#: as the driver's own ``simulate_breakdowns`` calls).  Experiments
+#: without an entry have nothing worth precomputing — they are either
+#: pure model evaluations or derive everything from another's sweep.
+SWEEP_DECLARATIONS: Mapping[str, Callable[..., list]] = {
+    "table2": table2.declare_units,
+    "fig2": fig2.declare_units,
+    "table4": table4.declare_units,
+}
+
 
 def get_experiment(experiment_id: str) -> Callable[..., ExperimentReport]:
     """Look up a driver by id; raises with the list of known ids."""
@@ -52,6 +73,65 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentReport]:
     return EXPERIMENTS[experiment_id]
 
 
+def _accepted_options(fn: Callable) -> "set[str] | None":
+    """Keyword names ``fn`` accepts, or None when it takes ``**kwargs``."""
+    params = inspect.signature(fn).parameters.values()
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
+        return None
+    return {
+        p.name
+        for p in params
+        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                      inspect.Parameter.KEYWORD_ONLY)
+    }
+
+
+def validate_options(experiment_id: str, options: Mapping[str, object]) -> None:
+    """Raise ``TypeError`` naming any option the driver does not accept.
+
+    Drivers take different knobs (``scale`` means nothing to ``fig4``),
+    so blind ``**options`` forwarding would surface as an unhelpful
+    low-level ``TypeError`` from the driver call; this checks the
+    driver's signature up front and names the offender and the accepted
+    set instead.
+    """
+    accepted = _accepted_options(get_experiment(experiment_id))
+    if accepted is None:
+        return
+    unknown = sorted(set(options) - accepted)
+    if unknown:
+        raise TypeError(
+            f"experiment {experiment_id!r} got unknown option(s) "
+            f"{', '.join(repr(o) for o in unknown)}; accepted: "
+            f"{', '.join(sorted(accepted)) or '(none)'}"
+        )
+
+
 def run_experiment(experiment_id: str, **options) -> ExperimentReport:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id)(**options)
+    """Run one experiment by id (options validated against the driver)."""
+    driver = get_experiment(experiment_id)
+    validate_options(experiment_id, options)
+    return driver(**options)
+
+
+def describe_experiment(experiment_id: str) -> str:
+    """One-line description of an experiment (its driver's docstring)."""
+    doc = inspect.getdoc(get_experiment(experiment_id))
+    return doc.splitlines()[0].strip() if doc else ""
+
+
+def declare_units(experiment_id: str, **options) -> list:
+    """The experiment's declared sweep as work units (``[]`` if none).
+
+    Options the declarer does not understand are dropped rather than
+    rejected: callers pass one option set for a whole batch of
+    experiments (e.g. ``repro runall --scale 0.1``) and each declarer
+    picks out what applies to it.
+    """
+    declarer = SWEEP_DECLARATIONS.get(experiment_id)
+    if declarer is None:
+        return []
+    accepted = _accepted_options(declarer)
+    if accepted is not None:
+        options = {k: v for k, v in options.items() if k in accepted}
+    return declarer(**options)

@@ -27,6 +27,15 @@ The disk tier defaults to ``.repro-cache/sweeps`` under the current
 directory; override with the ``REPRO_SWEEP_CACHE_DIR`` environment
 variable, disable with ``REPRO_SWEEP_CACHE=off`` (or per-process via
 :func:`set_disk_store`).
+
+When an engine session is installed (:func:`set_engine`, normally via
+:func:`repro.engine.session` / the CLI's ``--parallel`` flag), cache
+misses are executed across the session's worker pool instead of
+serially in-process: each ``(workload, threads, mem_scale, machine)``
+point becomes one content-hashed :class:`~repro.engine.units.WorkUnit`
+whose key **is** the disk-store key, the scheduler re-checks both cache
+tiers, and the results merge back in thread-count order — so a parallel
+sweep is byte-identical to a serial one.
 """
 
 from __future__ import annotations
@@ -36,6 +45,8 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Iterable, Mapping
 
+from repro.engine.executors import SWEEP_POINT
+from repro.engine.units import WorkUnit
 from repro.experiments.store import SweepStore
 from repro.simx import Machine, MachineConfig
 from repro.workloads.base import ClusteringWorkloadBase
@@ -52,6 +63,12 @@ __all__ = [
     "clear_cache",
     "cache_info",
     "set_disk_store",
+    "get_disk_store",
+    "set_engine",
+    "get_engine",
+    "sweep_units",
+    "execute_sweep_point",
+    "precompute_units",
 ]
 
 #: paper dataset attributes (kmeans/fuzzy: N, D, C; hop: particles)
@@ -67,6 +84,26 @@ _stats = {"memory_hits": 0, "disk_hits": 0, "misses": 0}
 
 _DISK_DEFAULT = object()  # sentinel: resolve from the environment
 _disk_store: "SweepStore | None | object" = _DISK_DEFAULT
+
+#: ambient engine session (None = serial); see :func:`set_engine`
+_engine = None
+
+
+def set_engine(session) -> None:
+    """Install (or with ``None`` remove) the ambient engine session.
+
+    While installed, :func:`simulate_breakdowns` routes cache misses
+    through the session's worker pool.  :func:`repro.engine.session`
+    manages this automatically; only call it directly when driving an
+    :class:`~repro.engine.scheduler.EngineSession` by hand.
+    """
+    global _engine
+    _engine = session
+
+
+def get_engine():
+    """The ambient engine session, or ``None`` when running serially."""
+    return _engine
 
 
 def set_disk_store(store: "SweepStore | str | Path | None") -> None:
@@ -93,6 +130,11 @@ def _get_disk() -> "SweepStore | None":
             )
             _disk_store = SweepStore(root)
     return _disk_store
+
+
+def get_disk_store() -> "SweepStore | None":
+    """The resolved disk tier (None when disabled)."""
+    return _get_disk()
 
 
 def clear_cache(memory_only: bool = False) -> None:
@@ -212,6 +254,91 @@ def _breakdown_from_payload(payload: dict) -> "PhaseBreakdown | None":
         return None
 
 
+def _simulate_point(
+    workload: ClusteringWorkloadBase, p: int, mem_scale: int, config: MachineConfig
+) -> PhaseBreakdown:
+    """One simulator run — the ground truth both execution paths share."""
+    prog = program_from_execution(workload.execute(p), mem_scale=mem_scale)
+    return breakdown_from_simulation(Machine(config).run(prog))
+
+
+def execute_sweep_point(
+    workload: ClusteringWorkloadBase, p: int, mem_scale: int, config: MachineConfig
+) -> dict:
+    """Run one sweep point and return its payload (the engine's
+    ``sweep-point`` executor; runs inside worker processes)."""
+    return _breakdown_to_payload(_simulate_point(workload, p, mem_scale, config))
+
+
+def _unit_for(
+    workload: ClusteringWorkloadBase, p: int, mem_scale: int, config: MachineConfig
+) -> WorkUnit:
+    """One sweep point as an engine work unit.
+
+    The unit key is :meth:`SweepStore.key_for` over the same description
+    the disk tier hashes, so the engine's dedup identity and the on-disk
+    cache key coincide by construction.
+    """
+    return WorkUnit(
+        kind=SWEEP_POINT,
+        key=SweepStore.key_for(_disk_description(workload, p, mem_scale, config)),
+        spec=(workload, p, mem_scale, config),
+        label=f"{workload.name}@p={p}",
+    )
+
+
+def sweep_units(
+    workload: ClusteringWorkloadBase,
+    thread_counts: Iterable[int] = (1, 2, 4, 8, 16),
+    n_cores: int = 16,
+    mem_scale: int = 2,
+    config: "MachineConfig | None" = None,
+) -> list[WorkUnit]:
+    """Declare a :func:`simulate_breakdowns` sweep as engine work units
+    (same defaults, same keys) without running anything."""
+    if config is None:
+        config = MachineConfig.baseline(n_cores=n_cores)
+    return [_unit_for(workload, p, mem_scale, config) for p in thread_counts]
+
+
+def _unit_cache_get(unit: WorkUnit) -> "dict | None":
+    """Scheduler hook: look a unit up in both tiers (counts hits/misses)."""
+    workload, p, mem_scale, config = unit.spec
+    memo_key = _key(workload, p, mem_scale, config)
+    hit = _cache.get(memo_key)
+    if hit is not None:
+        _stats["memory_hits"] += 1
+        return _breakdown_to_payload(hit)
+    disk = _get_disk()
+    if disk is not None:
+        payload = disk.get(unit.key)
+        if payload is not None:
+            restored = _breakdown_from_payload(payload)
+            if restored is not None:
+                _stats["disk_hits"] += 1
+                _cache[memo_key] = restored
+                return payload
+    _stats["misses"] += 1
+    return None
+
+
+def _unit_cache_put(unit: WorkUnit, payload: dict) -> None:
+    """Scheduler hook: write a fresh result into both tiers."""
+    workload, p, mem_scale, config = unit.spec
+    restored = _breakdown_from_payload(payload)
+    if restored is None:
+        raise ValueError(f"malformed sweep payload for {unit.describe()}")
+    _cache[_key(workload, p, mem_scale, config)] = restored
+    disk = _get_disk()
+    if disk is not None:
+        disk.put(unit.key, payload)
+
+
+def precompute_units(session, units: Iterable[WorkUnit]) -> None:
+    """Execute sweep units through ``session``, warming both cache tiers."""
+    session.run_units(units, cache_get=_unit_cache_get, cache_put=_unit_cache_put)
+
+
 def simulate_breakdowns(
     workload: ClusteringWorkloadBase,
     thread_counts: Iterable[int] = (1, 2, 4, 8, 16),
@@ -224,11 +351,15 @@ def simulate_breakdowns(
 
     ``config`` overrides the machine (default: ``MachineConfig.baseline``
     with ``n_cores`` cores); the cache key covers the full configuration,
-    so sweeping variants never cross-contaminate.
+    so sweeping variants never cross-contaminate.  With an engine session
+    installed (:func:`set_engine`), misses run on the session's worker
+    pool; results are identical either way.
     """
     if config is None:
         config = MachineConfig.baseline(n_cores=n_cores)
-    machine = Machine(config)
+    thread_counts = list(thread_counts)
+    if _engine is not None:
+        return _simulate_breakdowns_engine(workload, thread_counts, mem_scale, config)
     disk = _get_disk()
     out: dict[int, PhaseBreakdown] = {}
     for p in thread_counts:
@@ -250,10 +381,32 @@ def simulate_breakdowns(
                     out[p] = restored
                     continue
         _stats["misses"] += 1
-        prog = program_from_execution(workload.execute(p), mem_scale=mem_scale)
-        result = breakdown_from_simulation(machine.run(prog))
+        result = _simulate_point(workload, p, mem_scale, config)
         _cache[key] = result
         if disk is not None:
             disk.put(disk_key, _breakdown_to_payload(result))
         out[p] = result
+    return out
+
+
+def _simulate_breakdowns_engine(
+    workload: ClusteringWorkloadBase,
+    thread_counts: list,
+    mem_scale: int,
+    config: MachineConfig,
+) -> dict[int, PhaseBreakdown]:
+    """Engine path: schedule the sweep as work units, merge in our order."""
+    units = [_unit_for(workload, p, mem_scale, config) for p in thread_counts]
+    payloads = _engine.run_units(
+        units, cache_get=_unit_cache_get, cache_put=_unit_cache_put
+    )
+    out: dict[int, PhaseBreakdown] = {}
+    for p, unit in zip(thread_counts, units):
+        restored = _breakdown_from_payload(payloads[unit.key])
+        if restored is None:  # pragma: no cover - executor contract violation
+            raise RuntimeError(f"engine returned malformed payload for {unit.describe()}")
+        # _unit_cache_put already populated the memo; keep it warm even if
+        # that write was skipped (e.g. a cache_put failure was tolerated)
+        _cache.setdefault(_key(workload, p, mem_scale, config), restored)
+        out[p] = restored
     return out

@@ -18,6 +18,7 @@ Two kinds of artefact live here:
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 from pathlib import Path
@@ -102,14 +103,31 @@ def load_report(path: "str | Path") -> ExperimentReport:
     return report_from_dict(json.loads(Path(path).read_text()))
 
 
+#: distinguishes temp files from committed entries and from each other
+#: when several threads of one process write concurrently (the pid alone
+#: disambiguates processes)
+_tmp_counter = itertools.count()
+
+
 class SweepStore:
     """A content-addressed JSON store: one file per key under ``root``.
 
-    The store is deliberately forgiving on the read side — any unreadable,
-    unparsable, truncated or key-mismatched entry is a *miss* (``None``),
-    because a cache must never turn disk corruption into a crashed sweep.
-    Writes are atomic (temp file + ``os.replace``) so a killed process
-    cannot leave a half-written entry behind.
+    Safe under concurrent writers and readers racing on one directory
+    (the engine's worker pools, parallel CLI invocations, several hosts
+    on a shared filesystem):
+
+    * the read side is deliberately forgiving — any unreadable,
+      unparsable, truncated or key-mismatched entry is a *miss*
+      (``None``), because a cache must never turn disk corruption into a
+      crashed sweep;
+    * writes are atomic (a uniquely-named temp file, then ``os.replace``)
+      so a killed process cannot leave a half-written entry where a
+      reader would find it, and two racing writers of one key simply
+      commit twice — entries are content-addressed, so both bodies are
+      identical and last-rename-wins is harmless;
+    * a *failed* write (disk full, permissions, a racing ``clear``)
+      leaves the store unchanged and reports ``None`` instead of
+      raising: losing a cache write never loses a result.
     """
 
     _STORE_SCHEMA = 1
@@ -145,24 +163,41 @@ class SweepStore:
             return None
         return data["payload"]
 
-    def put(self, key: str, payload: dict) -> Path:
-        """Atomically store ``payload`` under ``key``; returns the path."""
-        self.root.mkdir(parents=True, exist_ok=True)
+    def put(self, key: str, payload: dict) -> "Path | None":
+        """Atomically store ``payload`` under ``key``.
+
+        Returns the committed path, or ``None`` when the write could not
+        be completed (best-effort cache semantics; see the class note).
+        """
         path = self.path_for(key)
         record = {"schema": self._STORE_SCHEMA, "key": key, "payload": payload}
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(record, sort_keys=True) + "\n")
-        os.replace(tmp, path)
+        tmp = self.root / f"{key}.{os.getpid()}.{next(_tmp_counter)}.tmp"
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(record, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return None
         return path
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (plus any abandoned temp files from killed
+        writers); returns how many entries were removed."""
         removed = 0
         if self.root.is_dir():
             for p in self.root.glob("*.json"):
                 try:
                     p.unlink()
                     removed += 1
+                except OSError:
+                    pass
+            for p in self.root.glob("*.tmp"):
+                try:
+                    p.unlink()
                 except OSError:
                     pass
         return removed

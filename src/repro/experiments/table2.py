@@ -13,11 +13,24 @@ from __future__ import annotations
 
 from repro.core.params import TABLE2
 from repro.experiments.report import ExperimentReport, PaperComparison
-from repro.experiments.simsweep import default_workloads, simulate_breakdowns
+from repro.experiments.simsweep import default_workloads, simulate_breakdowns, sweep_units
 from repro.util.tables import TextTable
 from repro.workloads.instrument import extract_parameters
 
-__all__ = ["run"]
+__all__ = ["run", "declare_units"]
+
+
+def declare_units(
+    scale: float = 0.15,
+    thread_counts: tuple = (1, 2, 4, 8, 16),
+    mem_scale: int = 2,
+) -> list:
+    """Table II's simulator sweep as engine work units (mirrors
+    :func:`run`'s defaults so the keys match what the driver will ask for)."""
+    units = []
+    for workload in default_workloads(scale).values():
+        units.extend(sweep_units(workload, thread_counts, mem_scale=mem_scale))
+    return units
 
 
 def run(

@@ -10,7 +10,7 @@ roughly unchanged; hop's parallel fraction drops on the larger set.
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport, PaperComparison
-from repro.experiments.simsweep import simulate_breakdowns
+from repro.experiments.simsweep import simulate_breakdowns, sweep_units
 from repro.util.tables import TextTable
 from repro.workloads.datasets import make_blobs, make_particles
 from repro.workloads.fuzzy import FuzzyCMeansWorkload
@@ -18,7 +18,22 @@ from repro.workloads.hop import HopWorkload
 from repro.workloads.instrument import extract_parameters
 from repro.workloads.kmeans import KMeansWorkload
 
-__all__ = ["run"]
+__all__ = ["run", "declare_units"]
+
+
+def declare_units(
+    scale: float = 0.08,
+    thread_counts: tuple = (1, 2, 4, 8),
+    mem_scale: int = 4,
+) -> list:
+    """Table IV's ten-variant sweep as engine work units (mirrors
+    :func:`run`'s defaults so the keys match what the driver will ask for)."""
+    units = []
+    for workload in _variants(scale).values():
+        units.extend(sweep_units(
+            workload, thread_counts, n_cores=max(thread_counts), mem_scale=mem_scale
+        ))
+    return units
 
 
 def _variants(scale: float):

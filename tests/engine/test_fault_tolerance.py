@@ -1,0 +1,133 @@
+"""Fault tolerance: workers killed mid-unit must not lose work.
+
+The crash executors SIGKILL their own process — indistinguishable from
+an OOM kill — *before* reporting anything, so the parent only learns
+about it from process liveness.  A marker file records "this unit
+already killed one worker", making the retry succeed.
+"""
+
+import json
+import multiprocessing as mp
+import os
+import signal
+
+import pytest
+
+from repro.engine.pool import UnitFailure, WorkerPool
+from repro.engine.units import WorkUnit, register_executor
+from repro.experiments.store import report_to_dict
+
+fork_only = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="fault-tolerance tests rely on fork-inherited test executors",
+)
+
+
+def _echo(spec):
+    return {"value": spec[0]}
+
+
+def _crash_once(spec):
+    marker, value = spec
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"value": value}
+
+
+def _crash_always(spec):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _crash_once_sweep_point(spec):
+    """Sweep-point executor that SIGKILLs the first worker that runs it."""
+    marker = os.environ.get("REPRO_TEST_CRASH_MARKER", "")
+    if marker and not os.path.exists(marker):
+        open(marker, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    from repro.engine.executors import _run_sweep_point
+
+    return _run_sweep_point(spec)
+
+
+register_executor("t-ft-echo", _echo)
+register_executor("t-crash-once", _crash_once)
+register_executor("t-crash-always", _crash_always)
+register_executor("t-crash-once-sweep", _crash_once_sweep_point)
+
+
+def unit(kind, key, *spec):
+    return WorkUnit(kind=kind, key=key, spec=spec, label=key)
+
+
+@fork_only
+class TestWorkerKill:
+    def test_killed_worker_loses_only_inflight_unit(self, tmp_path):
+        marker = str(tmp_path / "killed")
+        units = [unit("t-ft-echo", f"k{i}", i) for i in range(6)]
+        units.insert(3, unit("t-crash-once", "victim", marker, 42))
+        with WorkerPool(2, unit_timeout=60.0, max_retries=2, backoff=0.01) as pool:
+            results = pool.run(units)
+        # every unit completed, including the one whose worker was killed
+        assert results["victim"] == {"value": 42}
+        assert all(results[f"k{i}"] == {"value": i} for i in range(6))
+        assert pool.events.count("worker_crashed") >= 1
+        assert pool.events.count("worker_restarted") >= 1
+        assert pool.events.count("unit_retry") >= 1
+
+    def test_repeated_crashes_exhaust_retry_budget(self):
+        with WorkerPool(2, unit_timeout=60.0, max_retries=1, backoff=0.01) as pool:
+            with pytest.raises(UnitFailure, match="retry budget"):
+                pool.run([unit("t-crash-always", "doomed")])
+        assert pool.events.count("worker_crashed") >= 2
+
+    def test_worker_kill_mid_sweep_yields_correct_report(
+        self, tmp_path, monkeypatch
+    ):
+        """Kill a worker during a real table2 sweep; the run must complete
+        and produce a report identical to an undisturbed serial run."""
+        from repro import engine
+        from repro.experiments import simsweep
+        from repro.experiments.registry import run_experiment
+
+        options = dict(scale=0.03, thread_counts=(1, 2))
+
+        restore = simsweep.get_disk_store()
+        try:
+            simsweep.set_disk_store(tmp_path / "serial-store")
+            simsweep.clear_cache(memory_only=True)
+            serial = run_experiment("table2", **options)
+
+            # reroute the first declared unit through the crashing executor
+            monkeypatch.setenv(
+                "REPRO_TEST_CRASH_MARKER", str(tmp_path / "killed")
+            )
+            real_unit_for = simsweep._unit_for
+            wrapped = {"done": False}
+
+            def crashing_unit_for(workload, p, mem_scale, config):
+                u = real_unit_for(workload, p, mem_scale, config)
+                if not wrapped["done"]:
+                    wrapped["done"] = True
+                    u = WorkUnit(kind="t-crash-once-sweep", key=u.key,
+                                 spec=u.spec, label=u.label)
+                return u
+
+            monkeypatch.setattr(simsweep, "_unit_for", crashing_unit_for)
+
+            simsweep.set_disk_store(tmp_path / "engine-store")
+            simsweep.clear_cache(memory_only=True)
+            with engine.session(2, max_retries=2, backoff=0.01) as sess:
+                parallel = run_experiment("table2", **options)
+
+            assert sess.events.count("worker_crashed") >= 1
+            assert sess.events.count("unit_retry") >= 1
+            assert sess.stats["executed"] == 6  # no unit lost, none doubled
+            assert parallel.render() == serial.render()
+            assert (
+                json.dumps(report_to_dict(parallel), sort_keys=True)
+                == json.dumps(report_to_dict(serial), sort_keys=True)
+            )
+        finally:
+            simsweep.set_disk_store(restore)
+            simsweep.clear_cache(memory_only=True)

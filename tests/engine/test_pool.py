@@ -1,0 +1,119 @@
+"""Worker-pool behaviour: execution, errors, timeouts.
+
+Test executors are registered at import time in the *parent*; worker
+processes inherit them under the ``fork`` start method (the pool's
+default on platforms that have it), so pool tests skip where only
+``spawn`` exists.
+"""
+
+import multiprocessing as mp
+import os
+import time
+
+import pytest
+
+from repro.engine.events import EventLog
+from repro.engine.pool import SerialPool, UnitFailure, WorkerPool
+from repro.engine.units import WorkUnit, register_executor
+
+fork_only = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="pool tests rely on fork-inherited test executors",
+)
+
+
+def _echo(spec):
+    return {"value": spec[0] * 2}
+
+
+def _boom(spec):
+    raise ValueError(f"bad spec {spec[0]}")
+
+
+def _nap(spec):
+    time.sleep(spec[0])
+    return {"slept": spec[0]}
+
+
+def _nap_once(spec):
+    """Hang only on the first attempt (marker file = 'already tried')."""
+    marker, value = spec
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        time.sleep(60)
+    return {"value": value}
+
+
+register_executor("t-echo", _echo)
+register_executor("t-boom", _boom)
+register_executor("t-nap", _nap)
+register_executor("t-nap-once", _nap_once)
+
+
+def unit(kind, key, *spec):
+    return WorkUnit(kind=kind, key=key, spec=spec, label=key)
+
+
+class TestSerialPool:
+    def test_runs_units_in_process(self):
+        pool = SerialPool()
+        results = pool.run([unit("t-echo", f"k{i}", i) for i in range(4)])
+        assert results == {f"k{i}": {"value": 2 * i} for i in range(4)}
+        assert pool.events.count("unit_done") == 4
+
+    def test_duplicate_keys_execute_once(self):
+        pool = SerialPool()
+        results = pool.run([unit("t-echo", "same", 1), unit("t-echo", "same", 1)])
+        assert results == {"same": {"value": 2}}
+        assert pool.events.count("unit_done") == 1
+
+    def test_exception_is_unit_failure(self):
+        with pytest.raises(UnitFailure, match="k0"):
+            SerialPool().run([unit("t-boom", "k0", 7)])
+
+    def test_on_result_callback(self):
+        seen = []
+        SerialPool().run([unit("t-echo", "a", 1)],
+                         on_result=lambda k, p: seen.append((k, p)))
+        assert seen == [("a", {"value": 2})]
+
+
+@fork_only
+class TestWorkerPool:
+    def test_parallel_execution(self):
+        with WorkerPool(3, unit_timeout=60.0) as pool:
+            results = pool.run([unit("t-echo", f"k{i}", i) for i in range(10)])
+        assert results == {f"k{i}": {"value": 2 * i} for i in range(10)}
+        assert pool.events.count("worker_started") == 3
+        assert pool.events.count("unit_done") == 10
+
+    def test_pool_reusable_across_batches(self):
+        with WorkerPool(2, unit_timeout=60.0) as pool:
+            first = pool.run([unit("t-echo", "a", 1)])
+            second = pool.run([unit("t-echo", "b", 2)])
+        assert first == {"a": {"value": 2}}
+        assert second == {"b": {"value": 4}}
+        # the same workers served both batches
+        assert pool.events.count("worker_started") == 2
+
+    def test_executor_exception_fails_fast(self):
+        with WorkerPool(2, unit_timeout=60.0) as pool:
+            with pytest.raises(UnitFailure, match="ValueError"):
+                pool.run([unit("t-boom", "bad", 3)])
+
+    def test_unit_timeout_exhausts_retries(self):
+        with WorkerPool(1, unit_timeout=0.5, max_retries=0, backoff=0.01) as pool:
+            started = time.monotonic()
+            with pytest.raises(UnitFailure, match="retry budget"):
+                pool.run([unit("t-nap", "slow", 30)])
+        assert time.monotonic() - started < 15
+        assert pool.events.count("unit_timeout") == 1
+
+    def test_unit_timeout_then_retry_succeeds(self, tmp_path):
+        marker = str(tmp_path / "tried")
+        with WorkerPool(1, unit_timeout=1.0, max_retries=2, backoff=0.01) as pool:
+            results = pool.run([unit("t-nap-once", "flaky", marker, 9)])
+        assert results == {"flaky": {"value": 9}}
+        assert pool.events.count("unit_timeout") >= 1
+        assert pool.events.count("unit_retry") >= 1
+        assert pool.events.count("worker_restarted") >= 1

@@ -26,6 +26,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fig4" in out and "table2" in out
 
+    def test_list_prints_descriptions(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out  # description, not just the bare id
+
+    def test_run_parallel_flag(self, capsys):
+        assert main(["run", "fig4", "--parallel", "2"]) == 0
+        assert "fig4" in capsys.readouterr().out
+
+    def test_runall_smoke(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro.experiments.registry import EXPERIMENTS
+
+        monkeypatch.setattr(cli, "EXPERIMENTS", {"fig7": EXPERIMENTS["fig7"]})
+        assert main(["runall", "--parallel", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "engine:" in out
+
     def test_run_analytic_experiment(self, capsys):
         assert main(["run", "fig7"]) == 0
         out = capsys.readouterr().out

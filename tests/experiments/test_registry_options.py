@@ -1,0 +1,61 @@
+"""Registry option validation, descriptions, and sweep declarations."""
+
+import pytest
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    declare_units,
+    describe_experiment,
+    run_experiment,
+    validate_options,
+)
+
+
+class TestOptionValidation:
+    def test_unknown_option_is_named_in_the_error(self):
+        with pytest.raises(TypeError, match=r"fig4.*'bogus'"):
+            run_experiment("fig4", bogus=1)
+
+    def test_error_lists_accepted_options(self):
+        with pytest.raises(TypeError, match=r"accepted: .*\bn\b"):
+            run_experiment("fig4", scale=0.1)
+
+    def test_known_option_is_forwarded(self):
+        report = run_experiment("fig4", n=256)
+        assert report.experiment_id == "fig4"
+
+    def test_validate_options_accepts_known(self):
+        validate_options("table2", {"scale": 0.1, "thread_counts": (1, 2)})
+
+    def test_validate_options_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            validate_options("nope", {})
+
+
+class TestDescriptions:
+    def test_every_experiment_has_a_description(self):
+        for eid in EXPERIMENTS:
+            desc = describe_experiment(eid)
+            assert desc, f"{eid} has no description"
+            assert "\n" not in desc
+
+    def test_description_is_the_docstring_headline(self):
+        assert "Table II" in describe_experiment("table2")
+
+
+class TestDeclarations:
+    def test_experiments_without_sweeps_declare_nothing(self):
+        assert declare_units("fig4") == []
+        assert declare_units("table3") == []
+
+    def test_declared_units_match_driver_defaults(self):
+        units = declare_units("table2", scale=0.03, thread_counts=(1, 2))
+        assert len(units) == 6  # 3 workloads x 2 thread counts
+        assert len({u.key for u in units}) == 6
+        assert all(u.kind == "sweep-point" for u in units)
+
+    def test_declarers_drop_options_they_do_not_understand(self):
+        units = declare_units(
+            "fig2", scale=0.03, thread_counts=(1, 2), hardware_backend="model"
+        )
+        assert len(units) == 6

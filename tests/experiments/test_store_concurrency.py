@@ -1,0 +1,86 @@
+"""SweepStore under racing processes.
+
+Several workers hammer one store directory with puts, gets, torn/garbage
+writes and full clears.  The contract: no operation ever raises, a read
+returns either a complete payload for the right key or a miss, and a
+put after the dust settles is durable.
+"""
+
+import multiprocessing as mp
+import random
+
+import pytest
+
+from repro.experiments.store import SweepStore
+
+fork_only = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="hammer test forks worker processes",
+)
+
+_N_WORKERS = 4
+_N_OPS = 200
+
+
+def _hammer(root, seed, err_q):
+    try:
+        store = SweepStore(root)
+        rng = random.Random(seed)
+        for i in range(_N_OPS):
+            slot = rng.randrange(6)
+            key = SweepStore.key_for({"slot": slot})
+            roll = rng.random()
+            if roll < 0.45:
+                store.put(key, {"slot": slot, "writer": seed, "i": i})
+            elif roll < 0.85:
+                payload = store.get(key)
+                # a hit must be complete and belong to the requested key
+                if payload is not None and payload.get("slot") != slot:
+                    raise AssertionError(f"key {key[:8]} served wrong payload")
+            elif roll < 0.95:
+                # simulate a torn write / corrupt entry where readers look
+                store.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+                store.path_for(key).write_text('{"schema": 1, "key": "')
+            else:
+                store.clear()
+        err_q.put(None)
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        err_q.put(f"{type(exc).__name__}: {exc}")
+
+
+@fork_only
+def test_store_survives_racing_processes(tmp_path):
+    root = str(tmp_path / "store")
+    ctx = mp.get_context("fork")
+    err_q = ctx.Queue()
+    procs = [
+        ctx.Process(target=_hammer, args=(root, seed, err_q), daemon=True)
+        for seed in range(_N_WORKERS)
+    ]
+    for p in procs:
+        p.start()
+    failures = [err_q.get(timeout=60) for _ in procs]
+    for p in procs:
+        p.join(10)
+    assert all(f is None for f in failures), failures
+    assert all(p.exitcode == 0 for p in procs)
+
+    # the store still works, and no temp litter survives a clear
+    store = SweepStore(root)
+    key = SweepStore.key_for({"final": True})
+    assert store.put(key, {"ok": 1}) is not None
+    assert store.get(key) == {"ok": 1}
+    store.clear()
+    assert list(store.root.glob("*.tmp")) == []
+    assert len(store) == 0
+
+
+def test_put_failure_returns_none_and_leaves_no_litter(tmp_path):
+    store = SweepStore(tmp_path / "f")
+    key = SweepStore.key_for({"x": 1})
+    assert store.put(key, {"v": 1}) is not None
+    # make the committed entry's path un-replaceable: a directory
+    store.path_for(key).unlink()
+    store.path_for(key).mkdir()
+    assert store.put(key, {"v": 2}) is None
+    assert list(store.root.glob("*.tmp")) == []
