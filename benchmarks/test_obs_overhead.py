@@ -1,0 +1,85 @@
+"""Observability overhead benchmarks: disabled must be free, enabled cheap.
+
+Runs the same simulator workload three ways so ``scripts/run_bench.py``
+can compute overhead ratios from the benchmark JSON:
+
+* **obs-disabled** — the shipping default; the acceptance bar is ops/sec
+  within 2% of the uninstrumented ``Machine._run`` loop (also asserted
+  directly by ``tests/obs/test_overhead.py``);
+* **obs-enabled** — full metric + span recording; the simulator batches
+  its accounting per run, so even this stays cheap;
+* **bare-loop** — ``Machine._run`` without the observability wrapper,
+  the reference denominator.
+
+Each test stores the trace's op count in ``benchmark.extra_info`` so
+ops/sec can be derived from the benchmark JSON.
+"""
+
+import pytest
+
+from repro import obs
+from repro.simx import (
+    Compute,
+    Load,
+    Machine,
+    MachineConfig,
+    Store,
+    ThreadTrace,
+    TraceProgram,
+)
+
+LINE = 64
+
+
+def _count_ops(prog: TraceProgram) -> int:
+    return sum(len(t.ops) for t in prog.threads)
+
+
+def mixed_program(n_threads: int = 4, n_rounds: int = 600) -> TraceProgram:
+    threads = []
+    for tid in range(n_threads):
+        base = (0x2000 + tid * 0x1000) * LINE
+        ops = []
+        for i in range(n_rounds):
+            ops.append(Compute(30))
+            ops.append(Load(base + (i % 128) * LINE))
+            ops.append(Store(base + (i % 32) * LINE))
+        threads.append(ThreadTrace(tid, ops))
+    return TraceProgram("obs-overhead-mix", threads)
+
+
+@pytest.fixture
+def clean_obs():
+    obs.set_enabled(False)
+    obs.reset()
+    obs.RECORDER.clear()
+    yield
+    obs.set_enabled(False)
+    obs.reset()
+    obs.RECORDER.clear()
+
+
+def _bench(benchmark, mode: str, clean=None):
+    prog = mixed_program()
+    machine = Machine(MachineConfig(n_cores=8))
+    benchmark.extra_info["n_ops"] = _count_ops(prog)
+    benchmark.extra_info["obs_mode"] = mode
+    if mode == "enabled":
+        obs.set_enabled(True)
+    target = machine._run if mode == "bare" else machine.run
+    result = benchmark(target, prog)
+    assert result.total_cycles > 0
+    return result
+
+
+def test_obs_disabled(benchmark, clean_obs):
+    _bench(benchmark, "disabled")
+
+
+def test_obs_enabled(benchmark, clean_obs):
+    result = _bench(benchmark, "enabled")
+    assert obs.REGISTRY.get("simx_ops_total").value() >= result.n_ops
+
+
+def test_bare_loop(benchmark, clean_obs):
+    _bench(benchmark, "bare")

@@ -1,17 +1,24 @@
 #!/usr/bin/env python
 """Benchmark regression harness: run the suite, emit ``BENCH_simx.json``.
 
-Runs the pytest-benchmark suites (``benchmarks/test_throughput.py`` and
-``benchmarks/test_fastpath.py``), derives simulated ops/sec and the
-fast-path speedup ratios, times a simulator sweep cold vs disk-warm, and
+Runs the pytest-benchmark suites (``benchmarks/test_throughput.py``,
+``benchmarks/test_fastpath.py`` and ``benchmarks/test_obs_overhead.py``),
+derives simulated ops/sec, the fast-path speedup ratios and the
+observability overhead, times a simulator sweep cold vs disk-warm, and
 writes everything to ``BENCH_simx.json`` in the repo root — the artifact
 CI uploads so the perf trajectory is tracked across commits.
 
 Usage::
 
     python scripts/run_bench.py [--output BENCH_simx.json] [--quick]
+        [--check-against BASELINE] [--metrics-out METRICS.jsonl]
 
 ``--quick`` trims benchmark rounds for a fast smoke run.
+``--check-against`` is the CI regression gate: exit non-zero if any
+benchmark with a known op count lost more than 25% ops/sec against the
+committed baseline JSON.  ``--metrics-out`` additionally runs a small
+instrumented sweep and writes its ``repro.obs`` metrics + spans as
+JSONL (readable with ``repro stats``), uploaded as a CI artifact.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ def run_pytest_benchmarks(quick: bool) -> dict:
         sys.executable, "-m", "pytest",
         str(REPO / "benchmarks" / "test_throughput.py"),
         str(REPO / "benchmarks" / "test_fastpath.py"),
+        str(REPO / "benchmarks" / "test_obs_overhead.py"),
         "-q", "-p", "no:cacheprovider",
         "--benchmark-only",
         f"--benchmark-json={out}",
@@ -75,6 +83,55 @@ def _ratio(rows: dict, stem: str) -> "float | None":
     return fast["ops_per_sec"] / ref["ops_per_sec"]
 
 
+def obs_overhead(rows: dict) -> dict:
+    """Observability cost ratios vs the bare ``Machine._run`` loop."""
+    bare = rows.get("test_bare_loop", {}).get("min_seconds")
+    out = {}
+    for mode in ("disabled", "enabled"):
+        row = rows.get(f"test_obs_{mode}", {})
+        if bare and row.get("min_seconds"):
+            out[f"{mode}_overhead_x"] = round(row["min_seconds"] / bare, 4)
+    return out
+
+
+def check_regressions(rows: dict, baseline: dict, threshold: float = 0.25) -> list:
+    """Benchmarks that lost more than ``threshold`` ops/sec vs baseline."""
+    failures = []
+    base_rows = baseline.get("benchmarks", {})
+    for name, row in sorted(rows.items()):
+        old = base_rows.get(name, {}).get("ops_per_sec")
+        new = row.get("ops_per_sec")
+        if not (old and new):
+            continue
+        drop = 1.0 - new / old
+        if drop > threshold:
+            failures.append(
+                f"{name}: {new:,.0f} ops/s vs baseline {old:,.0f} (-{drop:.0%})"
+            )
+    return failures
+
+
+def collect_metrics(path: Path) -> None:
+    """Run a small instrumented sweep and dump its metrics/spans as JSONL."""
+    from repro import obs
+    from repro.experiments import simsweep
+
+    obs.set_enabled(True)
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-obsbench-") as tmp:
+            simsweep.set_disk_store(tmp)
+            simsweep.clear_cache(memory_only=True)
+            wl = simsweep.default_workloads(0.03)["kmeans"]
+            simsweep.simulate_breakdowns(wl, (1, 2), n_cores=4, mem_scale=4)
+            simsweep.set_disk_store(None)
+            simsweep.clear_cache(memory_only=True)
+        obs.write_jsonl(path, meta={"command": "scripts/run_bench.py"})
+    finally:
+        obs.set_enabled(False)
+        obs.reset()
+        obs.RECORDER.clear()
+
+
 def time_sweep_cache() -> dict:
     """Cold vs disk-warm wall time for a small simulator sweep."""
     from repro.experiments import simsweep
@@ -112,14 +169,27 @@ def main(argv: "list[str] | None" = None) -> int:
     ap.add_argument("--output", default=str(REPO / "BENCH_simx.json"))
     ap.add_argument("--quick", action="store_true",
                     help="single benchmark round (smoke run)")
+    ap.add_argument("--check-against", metavar="BASELINE",
+                    help="fail on >25%% ops/sec regression vs this BENCH json")
+    ap.add_argument("--metrics-out", metavar="FILE",
+                    help="write repro.obs metrics JSONL from an instrumented sweep")
     args = ap.parse_args(argv)
 
     sys.path.insert(0, str(SRC))
 
+    baseline = None
+    if args.check_against:
+        baseline_path = Path(args.check_against)
+        if baseline_path.exists():
+            # read before benchmarks run: --output may point at the same file
+            baseline = json.loads(baseline_path.read_text())
+        else:
+            print(f"note: baseline {baseline_path} not found; gate skipped")
+
     bench_json = run_pytest_benchmarks(args.quick)
     rows = summarise(bench_json)
     report = {
-        "schema": 1,
+        "schema": 2,
         "machine_info": bench_json.get("machine_info", {}).get("cpu", {}),
         "python": bench_json.get("machine_info", {}).get("python_version"),
         "benchmarks": rows,
@@ -128,15 +198,22 @@ def main(argv: "list[str] | None" = None) -> int:
             "shared_heavy_ratio": _ratio(rows, "test_shared_heavy"),
             "kmeans_mix_speedup": _ratio(rows, "test_kmeans_mix"),
         },
+        "obs": obs_overhead(rows),
         "sweep_cache": time_sweep_cache(),
     }
     out = Path(args.output)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
+    if args.metrics_out:
+        collect_metrics(Path(args.metrics_out))
+        print(f"wrote obs metrics to {args.metrics_out}")
+
     fp = report["fastpath"]
     print(f"\nwrote {out}")
     for k, v in fp.items():
         print(f"  {k:24} {v:.2f}x" if v else f"  {k:24} n/a")
+    for k, v in report["obs"].items():
+        print(f"  obs {k:20} {v:.3f}x")
     sc = report["sweep_cache"]
     print(f"  sweep cold -> disk-warm  {sc['cold_seconds']}s -> "
           f"{sc['disk_warm_seconds']}s (hit rate {sc['hit_rate']:.0%})")
@@ -148,6 +225,14 @@ def main(argv: "list[str] | None" = None) -> int:
     if fp["shared_heavy_ratio"] and fp["shared_heavy_ratio"] < 0.9:
         print("FAIL: fast path regresses the shared-heavy benchmark")
         ok = False
+    if baseline is not None:
+        failures = check_regressions(rows, baseline)
+        for f in failures:
+            print(f"FAIL: ops/sec regression: {f}")
+        if failures:
+            ok = False
+        else:
+            print("  regression gate vs baseline: pass (within 25%)")
     return 0 if ok else 1
 
 

@@ -19,6 +19,10 @@ Subcommands
     Inspect or drop the on-disk simulation sweep cache (simulator-backed
     experiments reuse results across invocations; ``--no-sweep-cache`` on
     ``run``/``characterize`` opts a single invocation out).
+``stats <metrics.jsonl> [--prometheus]``
+    Render a metrics/span JSONL file written by ``--metrics-out`` (see
+    ``docs/observability.md``) as terminal tables, or re-emit it in the
+    Prometheus text exposition format.
 """
 
 from __future__ import annotations
@@ -73,6 +77,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--event-log", metavar="PATH", default=None,
                        help="with --parallel: append engine events "
                             "(dispatch, cache hits, crashes, ETA) as JSONL")
+    run_p.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="enable observability and write metrics + spans "
+                            "as JSONL to PATH (render with 'repro stats')")
 
     runall_p = sub.add_parser(
         "runall",
@@ -91,6 +98,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip the on-disk simulation sweep cache")
     runall_p.add_argument("--event-log", metavar="PATH", default=None,
                           help="append engine events as JSONL")
+    runall_p.add_argument("--metrics-out", metavar="PATH", default=None,
+                          help="enable observability and write metrics + "
+                               "spans as JSONL to PATH")
 
     pred = sub.add_parser("predict", help="speedup prediction for custom parameters")
     pred.add_argument("--f", type=float, required=True, help="parallel fraction")
@@ -127,6 +137,14 @@ def build_parser() -> argparse.ArgumentParser:
     cache_p.add_argument("action", choices=["info", "clear"])
     cache_p.add_argument("--memory-only", action="store_true",
                          help="with 'clear': keep the disk tier")
+
+    stats_p = sub.add_parser(
+        "stats", help="render a metrics JSONL file written by --metrics-out"
+    )
+    stats_p.add_argument("metrics_file", help="JSONL from run/runall --metrics-out")
+    stats_p.add_argument("--prometheus", action="store_true",
+                         help="emit the Prometheus text exposition format "
+                              "instead of terminal tables")
 
     diff_p = sub.add_parser(
         "diff", help="compare two stored JSON reports of the same experiment"
@@ -170,6 +188,50 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _all_experiment_ids() -> list:
     return sorted(k for k in EXPERIMENTS if not k.startswith("ablation-"))
+
+
+@contextlib.contextmanager
+def _metrics_context(args: argparse.Namespace):
+    """Enable observability for the command when ``--metrics-out`` was
+    given; writes the JSONL snapshot on exit (even after a failure)."""
+    path = getattr(args, "metrics_out", None)
+    if path is None:
+        yield None
+        return
+    import os
+
+    from repro import obs
+
+    obs.set_enabled(True)
+    # spawn-method engine workers re-import in a fresh process; the env
+    # var is how the enable switch reaches them (fork inherits it anyway)
+    prior_env = os.environ.get("REPRO_OBS")
+    os.environ["REPRO_OBS"] = "1"
+    try:
+        yield path
+    finally:
+        if prior_env is None:
+            os.environ.pop("REPRO_OBS", None)
+        else:
+            os.environ["REPRO_OBS"] = prior_env
+        obs.set_enabled(False)
+        out = obs.write_jsonl(path, meta={"command": args.command})
+        obs.reset()
+        obs.RECORDER.clear()
+        print(f"[metrics written to {out}]")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    data = obs.read_jsonl(args.metrics_file)
+    if args.prometheus:
+        reg = obs.MetricsRegistry(enabled=True)
+        reg.merge_snapshot(data["metrics"])
+        sys.stdout.write(obs.render_prometheus(reg))
+    else:
+        print(obs.render_stats(data))
+    return 0
 
 
 def _engine_context(args: argparse.Namespace):
@@ -223,7 +285,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         simsweep.set_disk_store(None)
     ids = _all_experiment_ids() if args.experiment == "all" else [args.experiment]
-    with _engine_context(args) as sess:
+    with _metrics_context(args), _engine_context(args) as sess:
         if sess is not None:
             from repro.engine import precompute
 
@@ -243,7 +305,8 @@ def _cmd_runall(args: argparse.Namespace) -> int:
     from repro import engine
 
     ids = _all_experiment_ids()
-    with engine.session(args.parallel, event_log=args.event_log) as sess:
+    with _metrics_context(args), \
+            engine.session(args.parallel, event_log=args.event_log) as sess:
         options = {} if args.scale is None else {"scale": args.scale}
         engine.precompute(sess, ids, options)
         failed = _print_reports(ids, args)
@@ -353,6 +416,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_characterize(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "diff":
         from repro.experiments.diffing import diff_reports
         from repro.experiments.store import load_report

@@ -24,11 +24,15 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.util.logging import get_logger
 
 __all__ = ["EngineEvent", "EventLog"]
 
 log = get_logger("engine")
+
+_EVENTS = obs.counter("engine_events_total", "engine events emitted",
+                      labels=("kind",))
 
 #: event kinds that indicate something went wrong (logged at WARNING)
 _WARN_KINDS = frozenset({
@@ -59,6 +63,7 @@ class EventLog:
         """Record one event; returns it (handy for tests)."""
         event = EngineEvent(kind, data)
         self.events.append(event)
+        _EVENTS.inc(kind=kind)
         level = log.warning if kind in _WARN_KINDS else log.debug
         level("%s %s", kind, " ".join(f"{k}={v}" for k, v in data.items()))
         if self._jsonl_path is not None:

@@ -40,6 +40,7 @@ try:  # gracefully degrade on platforms without multiprocessing
 except ImportError:  # pragma: no cover - CPython always ships it
     _mp = None
 
+from repro import obs
 from repro.engine.events import EventLog
 from repro.engine.units import WorkUnit, execute
 
@@ -54,6 +55,19 @@ __all__ = [
 
 #: parent polling granularity; bounds crash/timeout detection latency
 _POLL_S = 0.05
+
+# ── observability ─────────────────────────────────────────────────────────
+_UNITS_DONE = obs.counter("engine_units_total", "work units completed",
+                          labels=("pool",))
+_UNIT_RETRIES = obs.counter("engine_unit_retries_total",
+                            "unit retries after worker deaths")
+_RESPAWNS = obs.counter("engine_worker_respawns_total",
+                        "workers respawned after a crash/timeout")
+_QUEUE_DEPTH = obs.gauge("engine_queue_depth",
+                         "units not yet settled (ready + delayed + in flight)")
+_UNIT_SECONDS = obs.histogram("engine_unit_seconds",
+                              "dispatch-to-done wall seconds per unit",
+                              labels=("pool",))
 
 
 class EngineError(RuntimeError):
@@ -81,6 +95,11 @@ def default_workers() -> int:
 
 def _worker_main(worker_id: int, task_q, result_q) -> None:
     """Worker loop: one unit at a time until the ``None`` sentinel."""
+    if obs.enabled():
+        # a forked worker inherits the parent's recorded series and spans;
+        # drop them so drain() ships only this worker's own deltas
+        obs.reset()
+        obs.RECORDER.clear()
     while True:
         try:
             task = task_q.get()
@@ -91,10 +110,14 @@ def _worker_main(worker_id: int, task_q, result_q) -> None:
         key, kind, spec = task
         try:
             payload = execute(kind, spec)
-            result_q.put((worker_id, key, True, payload))
+            # piggyback this unit's metric/span delta on the result tuple;
+            # drain() is None when observability is off, so the common case
+            # ships no extra bytes over the queue
+            result_q.put((worker_id, key, True, payload, obs.drain()))
         except BaseException:  # noqa: BLE001 - full traceback to the parent
             try:
-                result_q.put((worker_id, key, False, traceback.format_exc(limit=30)))
+                result_q.put((worker_id, key, False,
+                              traceback.format_exc(limit=30), obs.drain()))
             except Exception:  # pragma: no cover - result queue gone
                 return
 
@@ -124,6 +147,8 @@ class SerialPool:
             except Exception as exc:
                 raise UnitFailure(unit, f"{type(exc).__name__}: {exc}") from exc
             results[unit.key] = payload
+            _UNITS_DONE.inc(pool="serial")
+            _UNIT_SECONDS.observe(time.monotonic() - started, pool="serial")
             self.events.emit("unit_done", key=unit.key, label=unit.describe(),
                              worker=-1,
                              seconds=round(time.monotonic() - started, 4))
@@ -138,13 +163,14 @@ class SerialPool:
 class _WorkerSlot:
     """Parent-side bookkeeping for one worker process."""
 
-    __slots__ = ("proc", "task_q", "unit", "deadline")
+    __slots__ = ("proc", "task_q", "unit", "deadline", "started")
 
     def __init__(self, proc, task_q):
         self.proc = proc
         self.task_q = task_q
         self.unit: "WorkUnit | None" = None  # the one in-flight unit
         self.deadline: "float | None" = None
+        self.started: "float | None" = None  # dispatch time of that unit
 
 
 class WorkerPool:
@@ -157,6 +183,7 @@ class WorkerPool:
         unit_timeout: "float | None" = 600.0,
         max_retries: int = 2,
         backoff: float = 0.25,
+        max_backoff: float = 5.0,
         start_method: "str | None" = None,
         events: "EventLog | None" = None,
     ):
@@ -166,6 +193,7 @@ class WorkerPool:
         self.unit_timeout = unit_timeout
         self.max_retries = max(0, int(max_retries))
         self.backoff = backoff
+        self.max_backoff = max(float(max_backoff), float(backoff))
         self.start_method = start_method
         self.events = events if events is not None else EventLog()
         self._ctx = None
@@ -218,6 +246,7 @@ class WorkerPool:
             except (OSError, AttributeError):
                 pass
         fresh = self._spawn()
+        _RESPAWNS.inc()
         self.events.emit("worker_restarted", worker=fresh, replaces=worker_id)
 
     def close(self) -> None:
@@ -313,13 +342,18 @@ class WorkerPool:
                     f"(last cause: {cause}); retry budget {self.max_retries} "
                     "exhausted",
                 )
-            delay = self.backoff * (2 ** (attempts[unit.key] - 1))
+            # exponential backoff, capped so a flaky unit never waits
+            # unboundedly between attempts
+            delay = min(self.backoff * (2 ** (attempts[unit.key] - 1)),
+                        self.max_backoff)
             delayed.append((time.monotonic() + delay, unit.key))
+            _UNIT_RETRIES.inc()
             self.events.emit("unit_retry", key=unit.key, label=unit.describe(),
                              attempt=attempts[unit.key], delay_s=round(delay, 3))
 
         while len(results) < len(by_key):
             now = time.monotonic()
+            _QUEUE_DEPTH.set(len(by_key) - len(results))
             # mature delayed retries back into the ready queue
             still: list[tuple[float, str]] = []
             for eligible_at, key in delayed:
@@ -340,6 +374,7 @@ class WorkerPool:
                         slot.deadline = (
                             now + self.unit_timeout if self.unit_timeout else None
                         )
+                        slot.started = now
                         slot.task_q.put((unit.key, unit.kind, unit.spec))
                         self.events.emit(
                             "unit_dispatched", key=key, label=unit.describe(),
@@ -348,17 +383,26 @@ class WorkerPool:
                         break
             # collect one result (short timeout keeps the loop responsive)
             try:
-                worker_id, key, ok, payload = self._result_q.get(timeout=_POLL_S)
+                worker_id, key, ok, payload, delta = self._result_q.get(
+                    timeout=_POLL_S)
             except (queue_mod.Empty, EOFError, OSError):
                 pass
             else:
+                obs.merge_delta(delta, worker=worker_id)
+                seconds = None
                 slot = self._slots.get(worker_id)
                 if slot is not None and slot.unit is not None and slot.unit.key == key:
+                    if slot.started is not None:
+                        seconds = time.monotonic() - slot.started
                     slot.unit = None
                     slot.deadline = None
+                    slot.started = None
                 if key in by_key and key not in results:
                     if ok:
                         settle(key, payload)
+                        _UNITS_DONE.inc(pool="worker")
+                        if seconds is not None:
+                            _UNIT_SECONDS.observe(seconds, pool="worker")
                         self.events.emit("unit_done", key=key,
                                          label=by_key[key].describe(),
                                          worker=worker_id)
@@ -378,4 +422,5 @@ class WorkerPool:
                     slot.proc.kill()
                     slot.proc.join(1.0)
                     crashed(worker_id, slot, "unit timeout")
+        _QUEUE_DEPTH.set(0)
         return results

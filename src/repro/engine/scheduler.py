@@ -40,6 +40,7 @@ import os
 import time
 from typing import Callable, Iterable, Iterator, Mapping
 
+from repro import obs
 from repro.engine.events import EventLog
 from repro.engine.pool import (
     PoolUnavailable,
@@ -71,6 +72,7 @@ class EngineSession:
         unit_timeout: "float | None" = 600.0,
         max_retries: int = 2,
         backoff: float = 0.25,
+        max_backoff: float = 5.0,
         start_method: "str | None" = None,
         events: "EventLog | None" = None,
     ):
@@ -78,6 +80,7 @@ class EngineSession:
         self.unit_timeout = unit_timeout
         self.max_retries = max_retries
         self.backoff = backoff
+        self.max_backoff = max_backoff
         self.start_method = start_method
         self.events = events if events is not None else EventLog()
         self.stats = {"units": 0, "deduped": 0, "cache_hits": 0, "executed": 0}
@@ -96,6 +99,7 @@ class EngineSession:
             unit_timeout=self.unit_timeout,
             max_retries=self.max_retries,
             backoff=self.backoff,
+            max_backoff=self.max_backoff,
             start_method=self.start_method,
             events=self.events,
         )
@@ -158,11 +162,13 @@ class EngineSession:
 
         if self._pool is None:
             self._pool = self._make_pool()
-        try:
-            executed = self._pool.run(misses, on_result=on_result)
-        except PoolUnavailable as exc:
-            # no unit ran (startup failed before dispatch): rerun serially
-            executed = self._degrade(str(exc)).run(misses, on_result=on_result)
+        with obs.span("engine.batch", to_execute=total, workers=self.n_workers):
+            try:
+                executed = self._pool.run(misses, on_result=on_result)
+            except PoolUnavailable as exc:
+                # no unit ran (startup failed before dispatch): rerun serially
+                executed = self._degrade(str(exc)).run(misses,
+                                                       on_result=on_result)
         results.update(executed)
         self.stats["executed"] += total
         self.events.emit("batch_done", executed=total,
@@ -190,6 +196,11 @@ class EngineSession:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        if obs.enabled():
+            # fold the observability state into the event stream so JSONL
+            # event logs (and the bench harness) carry the numbers too
+            self.events.emit("metrics_snapshot", metrics=obs.snapshot(),
+                             spans=obs.span_summary())
         self.events.close()
 
     def __enter__(self) -> "EngineSession":

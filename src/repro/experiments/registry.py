@@ -4,8 +4,10 @@ descriptions, and the sweep declarations the parallel engine precomputes."""
 from __future__ import annotations
 
 import inspect
+import time
 from typing import Callable, Mapping
 
+from repro import obs
 from repro.experiments import ablations, conclusions, extensions, falsesharing
 from repro.experiments import locked_reduction, mix_study
 from repro.experiments import fig1_fig6, fig2, fig3, fig4, fig5, fig7
@@ -107,11 +109,23 @@ def validate_options(experiment_id: str, options: Mapping[str, object]) -> None:
         )
 
 
+_EXPERIMENT_SECONDS = obs.histogram(
+    "experiment_seconds", "wall-clock seconds per experiment driver",
+    labels=("experiment",),
+)
+
+
 def run_experiment(experiment_id: str, **options) -> ExperimentReport:
     """Run one experiment by id (options validated against the driver)."""
     driver = get_experiment(experiment_id)
     validate_options(experiment_id, options)
-    return driver(**options)
+    if not obs.enabled():
+        return driver(**options)
+    t0 = time.perf_counter()
+    with obs.span("experiment.run", experiment=experiment_id):
+        report = driver(**options)
+    _EXPERIMENT_SECONDS.observe(time.perf_counter() - t0, experiment=experiment_id)
+    return report
 
 
 def describe_experiment(experiment_id: str) -> str:

@@ -45,6 +45,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Iterable, Mapping
 
+from repro import obs
 from repro.engine.executors import SWEEP_POINT
 from repro.engine.units import WorkUnit
 from repro.experiments.store import SweepStore
@@ -81,6 +82,27 @@ _SIM_VERSION = 1
 
 _cache: dict[tuple, PhaseBreakdown] = {}
 _stats = {"memory_hits": 0, "disk_hits": 0, "misses": 0}
+
+_CACHE_LOOKUPS = obs.counter(
+    "sweep_cache_lookups_total",
+    "sweep-cache lookups by tier and outcome",
+    labels=("tier", "result"),
+)
+
+#: _stats key → (tier, result) label pair on ``sweep_cache_lookups_total``
+_LOOKUP_LABELS = {
+    "memory_hits": ("memory", "hit"),
+    "disk_hits": ("disk", "hit"),
+    "misses": ("all", "miss"),
+}
+
+
+def _record_lookup(stat: str) -> None:
+    """Count one cache lookup in both the legacy dict and the registry."""
+    _stats[stat] += 1
+    tier, result = _LOOKUP_LABELS[stat]
+    _CACHE_LOOKUPS.inc(tier=tier, result=result)
+
 
 _DISK_DEFAULT = object()  # sentinel: resolve from the environment
 _disk_store: "SweepStore | None | object" = _DISK_DEFAULT
@@ -307,7 +329,7 @@ def _unit_cache_get(unit: WorkUnit) -> "dict | None":
     memo_key = _key(workload, p, mem_scale, config)
     hit = _cache.get(memo_key)
     if hit is not None:
-        _stats["memory_hits"] += 1
+        _record_lookup("memory_hits")
         return _breakdown_to_payload(hit)
     disk = _get_disk()
     if disk is not None:
@@ -315,10 +337,10 @@ def _unit_cache_get(unit: WorkUnit) -> "dict | None":
         if payload is not None:
             restored = _breakdown_from_payload(payload)
             if restored is not None:
-                _stats["disk_hits"] += 1
+                _record_lookup("disk_hits")
                 _cache[memo_key] = restored
                 return payload
-    _stats["misses"] += 1
+    _record_lookup("misses")
     return None
 
 
@@ -366,7 +388,7 @@ def simulate_breakdowns(
         key = _key(workload, p, mem_scale, config)
         hit = _cache.get(key)
         if hit is not None:
-            _stats["memory_hits"] += 1
+            _record_lookup("memory_hits")
             out[p] = hit
             continue
         disk_key = None
@@ -376,11 +398,11 @@ def simulate_breakdowns(
             if payload is not None:
                 restored = _breakdown_from_payload(payload)
                 if restored is not None:
-                    _stats["disk_hits"] += 1
+                    _record_lookup("disk_hits")
                     _cache[key] = restored
                     out[p] = restored
                     continue
-        _stats["misses"] += 1
+        _record_lookup("misses")
         result = _simulate_point(workload, p, mem_scale, config)
         _cache[key] = result
         if disk is not None:

@@ -23,6 +23,7 @@ import json
 import os
 from pathlib import Path
 
+from repro import obs
 from repro.experiments.report import ExperimentReport, PaperComparison
 from repro.util.tables import TextTable
 
@@ -35,6 +36,11 @@ __all__ = [
 ]
 
 _SCHEMA_VERSION = 1
+
+_STORE_READS = obs.counter("sweep_store_reads_total",
+                           "disk sweep-store reads", labels=("result",))
+_STORE_WRITES = obs.counter("sweep_store_writes_total",
+                            "disk sweep-store writes", labels=("result",))
 
 
 def report_to_dict(report: ExperimentReport) -> dict:
@@ -153,6 +159,7 @@ class SweepStore:
         try:
             data = json.loads(self.path_for(key).read_text())
         except (OSError, ValueError):
+            _STORE_READS.inc(result="miss")
             return None
         if (
             not isinstance(data, dict)
@@ -160,7 +167,9 @@ class SweepStore:
             or data.get("key") != key
             or "payload" not in data
         ):
+            _STORE_READS.inc(result="miss")
             return None
+        _STORE_READS.inc(result="hit")
         return data["payload"]
 
     def put(self, key: str, payload: dict) -> "Path | None":
@@ -181,7 +190,9 @@ class SweepStore:
                 tmp.unlink()
             except OSError:
                 pass
+            _STORE_WRITES.inc(result="failed")
             return None
+        _STORE_WRITES.inc(result="committed")
         return path
 
     def clear(self) -> int:

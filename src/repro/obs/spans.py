@@ -1,0 +1,154 @@
+"""Lightweight span tracing: nested, attributed timing scopes.
+
+A *span* is one timed scope — ``with span("simx.run", program=name):`` —
+with parent/child nesting tracked through a :mod:`contextvars` variable,
+so spans nest correctly across threads and (because the variable is
+task-local) async contexts.  Completed spans land in a
+:class:`SpanRecorder` in completion order, which puts every child before
+its parent — the natural order for streaming JSONL.
+
+Recording follows the metrics enable switch
+(:func:`repro.obs.metrics.enabled`): a disabled ``span()`` is a single
+branch and yields ``None``.  Span ids are sequential per process (no
+randomness — deterministic tests, resumable runs); worker-process spans
+merged into a parent recorder keep their ids but gain a ``worker``
+attribute, so offspring of different processes cannot be confused.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["Span", "SpanRecorder", "RECORDER", "span", "span_summary"]
+
+#: (span_id, depth) of the innermost open span, or None at top level
+_current: "contextvars.ContextVar[tuple | None]" = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed timing scope."""
+
+    name: str
+    span_id: int
+    parent_id: "int | None"
+    depth: int
+    start: float        # wall-clock epoch seconds (time.time)
+    seconds: float      # monotonic duration (time.perf_counter delta)
+    attrs: dict = field(default_factory=dict)
+    error: "str | None" = None
+
+    def to_dict(self) -> dict:
+        d = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start": self.start,
+            "seconds": self.seconds,
+            "attrs": self.attrs,
+        }
+        if self.error is not None:
+            d["error"] = self.error
+        return d
+
+
+class SpanRecorder:
+    """Collects completed spans (shared by every ``span()`` by default)."""
+
+    def __init__(self):
+        self.spans: list[Span] = []
+        self._ids = itertools.count(1)
+
+    def record(self, s: Span) -> None:
+        self.spans.append(s)
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    def to_dicts(self) -> list[dict]:
+        return [s.to_dict() for s in self.spans]
+
+    def merge_dicts(self, span_dicts, **extra_attrs) -> None:
+        """Fold spans shipped from another process in (adds ``extra_attrs``,
+        e.g. ``worker=3``, to disambiguate their ids)."""
+        for d in span_dicts:
+            try:
+                self.record(Span(
+                    name=str(d["name"]),
+                    span_id=int(d["span_id"]),
+                    parent_id=d.get("parent_id"),
+                    depth=int(d.get("depth", 0)),
+                    start=float(d.get("start", 0.0)),
+                    seconds=float(d.get("seconds", 0.0)),
+                    attrs={**d.get("attrs", {}), **extra_attrs},
+                    error=d.get("error"),
+                ))
+            except (KeyError, TypeError, ValueError):
+                continue  # a malformed foreign span is dropped, not fatal
+
+
+#: the process-wide default recorder
+RECORDER = SpanRecorder()
+
+
+@contextlib.contextmanager
+def span(name: str, recorder: "SpanRecorder | None" = None, **attrs):
+    """Time a scope as a span; nests under the innermost open span.
+
+    Yields the live span's id (or ``None`` when observability is
+    disabled).  Exceptions propagate; the span records the exception type
+    in its ``error`` field before re-raising.
+    """
+    if not _metrics.REGISTRY.enabled:
+        yield None
+        return
+    rec = RECORDER if recorder is None else recorder
+    parent = _current.get()
+    span_id = next(rec._ids)
+    depth = 0 if parent is None else parent[1] + 1
+    token = _current.set((span_id, depth))
+    start_wall = time.time()
+    t0 = time.perf_counter()
+    error = None
+    try:
+        yield span_id
+    except BaseException as exc:
+        error = type(exc).__name__
+        raise
+    finally:
+        _current.reset(token)
+        rec.record(Span(
+            name=name,
+            span_id=span_id,
+            parent_id=None if parent is None else parent[0],
+            depth=depth,
+            start=start_wall,
+            seconds=time.perf_counter() - t0,
+            attrs=attrs,
+            error=error,
+        ))
+
+
+def span_summary(recorder: "SpanRecorder | None" = None) -> dict:
+    """Aggregate ``{name: {count, total_seconds, max_seconds}}`` rollup."""
+    rec = RECORDER if recorder is None else recorder
+    out: dict[str, dict] = {}
+    for s in rec.spans:
+        agg = out.setdefault(s.name, {"count": 0, "total_seconds": 0.0,
+                                      "max_seconds": 0.0})
+        agg["count"] += 1
+        agg["total_seconds"] += s.seconds
+        agg["max_seconds"] = max(agg["max_seconds"], s.seconds)
+    for agg in out.values():
+        agg["total_seconds"] = round(agg["total_seconds"], 6)
+        agg["max_seconds"] = round(agg["max_seconds"], 6)
+    return out

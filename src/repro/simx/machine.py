@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import itertools
 import math
+import time
 from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Iterator
 
+from repro import obs
 from repro.simx.coherence import CoherenceController, CoherenceStats
 from repro.simx.config import MachineConfig
 from repro.simx.core_model import CoreModel
@@ -44,6 +46,24 @@ from repro.simx.trace import (
 )
 
 __all__ = ["Machine", "SimulationResult", "DeadlockError", "TraceError"]
+
+# ── observability (recorded once per run; see docs/observability.md) ──────
+_RUNS = obs.counter("simx_runs_total", "simulator runs", labels=("engine",))
+_OPS = obs.counter("simx_ops_total", "trace operations executed")
+_FUSED_OPS = obs.counter("simx_fused_ops_total",
+                         "operations executed inside fused bursts")
+_BURSTS = obs.counter("simx_bursts_total", "fused bursts executed")
+_FALLBACKS = obs.counter("simx_burst_fallbacks_total",
+                         "bursts that bailed to the reference path")
+_CYCLES = obs.counter("simx_cycles_total", "simulated cycles")
+_INSTRUCTIONS = obs.counter("simx_instructions_total",
+                            "simulated instructions retired")
+_PHASE_BUSY = obs.counter("simx_phase_busy_cycles_total",
+                          "busy cycles attributed per phase", labels=("phase",))
+_PHASE_WAIT = obs.counter("simx_phase_wait_cycles_total",
+                          "wait cycles attributed per phase", labels=("phase",))
+_RUN_SECONDS = obs.histogram("simx_run_seconds",
+                             "wall-clock seconds per simulator run")
 
 
 class DeadlockError(RuntimeError):
@@ -90,6 +110,13 @@ class SimulationResult:
     coherence: CoherenceStats
     instructions: tuple[int, ...]
     coherence_by_phase: "dict[str, CoherenceStats]" = field(default_factory=dict)
+    # execution-engine accounting (observability; not part of the timing
+    # semantics, so cache keys and golden outputs never depend on them)
+    engine: str = "reference"
+    n_ops: int = 0
+    n_bursts: int = 0
+    n_fused_ops: int = 0
+    n_burst_fallbacks: int = 0
 
     def phase_cycles(self, phase: str, thread_id: "int | None" = None) -> int:
         """Busy cycles attributed to a phase (see :class:`PhaseStats`)."""
@@ -172,6 +199,29 @@ class Machine:
         RuntimeError
             If ``max_cycles`` is exceeded.
         """
+        if not obs.REGISTRY.enabled:
+            return self._run(program, max_cycles)
+        t0 = time.perf_counter()
+        with obs.span("simx.run", program=program.name,
+                      threads=program.n_threads, cores=self.config.n_cores):
+            result = self._run(program, max_cycles)
+        _RUN_SECONDS.observe(time.perf_counter() - t0)
+        _RUNS.inc(engine=result.engine)
+        _OPS.inc(result.n_ops)
+        _FUSED_OPS.inc(result.n_fused_ops)
+        _BURSTS.inc(result.n_bursts)
+        _FALLBACKS.inc(result.n_burst_fallbacks)
+        _CYCLES.inc(result.total_cycles)
+        _INSTRUCTIONS.inc(sum(result.instructions))
+        for ph in result.phase_stats.phases():
+            _PHASE_BUSY.inc(result.phase_stats.busy_cycles(ph), phase=ph)
+            _PHASE_WAIT.inc(result.phase_stats.wait_cycles(ph), phase=ph)
+        return result
+
+    def _run(
+        self, program: TraceProgram, max_cycles: "int | None" = None
+    ) -> SimulationResult:
+        """The actual discrete-event loop behind :meth:`run`."""
         if program.n_threads > self.config.n_cores:
             raise ValueError(
                 f"program has {program.n_threads} threads but machine has "
@@ -194,10 +244,13 @@ class Machine:
                 for i, t in enumerate(program.threads)
             ]
         else:
+            compiled = None
             shared_lines = frozenset()
             threads = [
                 _ThreadCtx(tid=t.thread_id, ops=iter(t)) for t in program.threads
             ]
+        ops_executed = 0
+        burst_fallbacks = 0
         stats = PhaseStats()
         barrier_arrivals: dict[int, dict[int, int]] = {}
         lock_holder: dict[int, int] = {}
@@ -239,6 +292,7 @@ class Machine:
             pushed back for op-at-a-time execution under the normal
             interleaving.
             """
+            nonlocal ops_executed, burst_fallbacks
             core = cores[ctx.tid]
             tid = ctx.tid
             phase = ctx.current_phase()
@@ -281,12 +335,15 @@ class Machine:
                 ctx.clock += busy
             if n_loads or n_stores:
                 charge_coherence(phase, snapshot)
+            ops_executed += executed
             if executed < len(ops):
                 # an eviction hazard ended the run early: execute the rest
                 # (including the offending op) on the reference path
                 ctx.ops = itertools.chain(ops[executed:], ctx.ops)
+                burst_fallbacks += 1
 
         def step(ctx: _ThreadCtx) -> None:
+            nonlocal ops_executed
             try:
                 op = next(ctx.ops)
             except StopIteration:
@@ -303,7 +360,9 @@ class Machine:
 
             if type(op) is Burst:
                 run_burst(ctx, op)
-            elif isinstance(op, Compute):
+                return
+            ops_executed += 1
+            if isinstance(op, Compute):
                 cycles = cores[ctx.tid].compute_cycles(op.instructions)
                 stats.add_busy(ctx.current_phase(), ctx.tid, cycles)
                 ctx.clock += cycles
@@ -407,4 +466,9 @@ class Machine:
             coherence=coherence.stats,
             instructions=tuple(c.instructions_retired for c in cores),
             coherence_by_phase=phase_coherence,
+            engine="fast" if compiled is not None else "reference",
+            n_ops=ops_executed,
+            n_bursts=compiled.n_bursts if compiled is not None else 0,
+            n_fused_ops=compiled.n_fused_ops if compiled is not None else 0,
+            n_burst_fallbacks=burst_fallbacks,
         )

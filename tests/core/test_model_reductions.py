@@ -1,0 +1,136 @@
+"""Property-based invariants of the model equations (Eq 1–5).
+
+Randomised grids over ``(n, r, f, c, o)`` built with the stdlib
+``random`` module under a fixed seed — no external property-testing
+dependency — checking the algebraic structure the paper relies on:
+
+* the Hill–Marty forms (Eq 2 symmetric, Eq 3 asymmetric) collapse to
+  Amdahl's law (Eq 1) when every core is a base core (``r = 1`` /
+  ``rl = 1``, where ``perf(1) = 1``);
+* the extended merging model (Eq 4) collapses to Hill–Marty (Eq 2) when
+  the growing-overhead share is zero (``o = 0``), for *every* core size
+  and growth law;
+* speedup is monotone non-decreasing in the parallel fraction ``f``;
+* merging overhead only ever costs: the extended speedup never exceeds
+  the Hill–Marty speedup for the same ``(f, n, r)`` (``grow(nc) >= 1``
+  for every shipped growth law, so the serial term can only grow).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import amdahl, hill_marty, merging
+from repro.core.growth import PolynomialGrowth, resolve_growth
+from repro.core.params import AppParams
+
+_SEED = 20260806
+_N_CASES = 60
+
+#: every growth-law spec the model ships (poly spans sub- to super-linear)
+_GROWTHS = ("linear", "log", "parallel", "poly:0.5", "poly:1.7", "poly:3")
+
+
+def _random_grid(seed=_SEED, n_cases=_N_CASES):
+    """Deterministic random (n, r, f, c, o, growth) tuples.
+
+    ``r`` is drawn from the paper's power-of-two sweep grid for the drawn
+    ``n`` so it always satisfies ``1 <= r <= n``.
+    """
+    rng = random.Random(seed)
+    cases = []
+    for i in range(n_cases):
+        n = 2 ** rng.randint(2, 10)  # 4 .. 1024 BCEs
+        r = 2 ** rng.randint(0, int(math.log2(n)))
+        f = rng.uniform(0.01, 0.999)
+        c = rng.uniform(0.0, 1.0)    # fcon_share
+        o = rng.uniform(0.0, 1.0)    # fored_share
+        growth = _GROWTHS[rng.randrange(len(_GROWTHS))]
+        cases.append(pytest.param(n, r, f, c, o, growth,
+                                  id=f"case{i}-n{n}-r{r}-{growth}"))
+    return cases
+
+
+_CASES = _random_grid()
+
+
+@pytest.mark.parametrize("n,r,f,c,o,growth", _CASES)
+class TestReductions:
+    def test_eq2_reduces_to_amdahl_at_r1(self, n, r, f, c, o, growth):
+        """Eq 2 with one-BCE cores is exactly Eq 1 (perf(1) = 1)."""
+        assert hill_marty.speedup_symmetric(f, n, 1.0) == pytest.approx(
+            amdahl.speedup(f, n), rel=1e-12
+        )
+
+    def test_eq3_reduces_to_amdahl_at_rl1(self, n, r, f, c, o, growth):
+        """Eq 3 with a one-BCE 'large' core is exactly Eq 1."""
+        assert hill_marty.speedup_asymmetric(f, n, 1.0) == pytest.approx(
+            amdahl.speedup(f, n), rel=1e-12
+        )
+
+    def test_eq4_reduces_to_eq2_when_o_is_zero(self, n, r, f, c, o, growth):
+        """With no growing overhead the merging model IS Hill–Marty, for
+        any core size and any growth law."""
+        params = AppParams(f=f, fcon_share=c, fored_share=0.0)
+        assert merging.speedup_symmetric(params, n, r, growth=growth) == (
+            pytest.approx(hill_marty.speedup_symmetric(f, n, r), rel=1e-12)
+        )
+
+    def test_eq5_reduces_to_eq3_when_o_is_zero(self, n, r, f, c, o, growth):
+        """Asymmetric analogue: Eq 5 at o = 0 matches Eq 3 (small cores
+        of 1 BCE, which is Eq 3's shape)."""
+        params = AppParams(f=f, fcon_share=c, fored_share=0.0)
+        rl = max(float(r), 1.0)
+        assert merging.speedup_asymmetric(params, n, rl, r=1.0,
+                                          growth=growth) == (
+            pytest.approx(hill_marty.speedup_asymmetric(f, n, rl), rel=1e-12)
+        )
+
+    def test_speedup_monotone_in_f(self, n, r, f, c, o, growth):
+        """More parallelism never slows the modelled chip down."""
+        lo = AppParams(f=max(f - 0.005, 1e-6), fcon_share=c, fored_share=o)
+        hi = AppParams(f=min(f + 0.005, 1 - 1e-9), fcon_share=c, fored_share=o)
+        s_lo = merging.speedup_symmetric(lo, n, r, growth=growth)
+        s_hi = merging.speedup_symmetric(hi, n, r, growth=growth)
+        assert s_hi >= s_lo - 1e-12
+        # and the underlying laws agree
+        assert amdahl.speedup(hi.f, n) >= amdahl.speedup(lo.f, n) - 1e-12
+        assert hill_marty.speedup_symmetric(hi.f, n, r) >= (
+            hill_marty.speedup_symmetric(lo.f, n, r) - 1e-12
+        )
+
+    def test_extended_never_exceeds_hill_marty(self, n, r, f, c, o, growth):
+        """Merging overhead is a pure cost: Eq 4 <= Eq 2 pointwise."""
+        params = AppParams(f=f, fcon_share=c, fored_share=o)
+        ext = merging.speedup_symmetric(params, n, r, growth=growth)
+        hm = hill_marty.speedup_symmetric(f, n, r)
+        assert ext <= hm + 1e-12
+
+    def test_extended_asymmetric_never_exceeds_hill_marty(
+        self, n, r, f, c, o, growth
+    ):
+        """Asymmetric analogue: Eq 5 <= Eq 3 pointwise (r = 1 smalls)."""
+        params = AppParams(f=f, fcon_share=c, fored_share=o)
+        rl = max(float(r), 1.0)
+        ext = merging.speedup_asymmetric(params, n, rl, r=1.0, growth=growth)
+        hm = hill_marty.speedup_asymmetric(f, n, rl)
+        assert ext <= hm + 1e-12
+
+
+def test_growth_laws_never_discount_at_one_plus_cores():
+    """grow(nc) >= 1 for nc >= 1 — the premise behind ext <= HM above."""
+    rng = random.Random(_SEED + 1)
+    laws = [resolve_growth(g) for g in ("linear", "log", "parallel")]
+    laws += [PolynomialGrowth(rng.uniform(0.05, 3.0)) for _ in range(5)]
+    for law in laws:
+        for _ in range(200):
+            nc = rng.uniform(1.0, 1024.0)
+            assert law(nc) >= 1.0 - 1e-12, (law.name, nc)
+
+
+def test_grid_is_deterministic():
+    """The random grid is reproducible: reruns test the same points."""
+    a = [p.values for p in _random_grid()]
+    b = [p.values for p in _random_grid()]
+    assert a == b

@@ -1,0 +1,17 @@
+"""Observability tests share one process-wide registry/recorder; every
+test starts and ends with them disabled and empty."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.set_enabled(False)
+    obs.reset()
+    obs.RECORDER.clear()
+    yield
+    obs.set_enabled(False)
+    obs.reset()
+    obs.RECORDER.clear()

@@ -1,0 +1,116 @@
+"""Span tracing: nesting, ordering, attributes, error capture."""
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import SpanRecorder, span
+
+
+class TestSpanBasics:
+    def test_disabled_span_yields_none_and_records_nothing(self):
+        with span("quiet") as sid:
+            assert sid is None
+        assert obs.RECORDER.spans == []
+
+    def test_enabled_span_records_with_attrs(self):
+        obs.set_enabled(True)
+        with span("work", program="kmeans", threads=4) as sid:
+            assert isinstance(sid, int)
+        [s] = obs.RECORDER.spans
+        assert s.name == "work"
+        assert s.span_id == sid
+        assert s.parent_id is None
+        assert s.depth == 0
+        assert s.attrs == {"program": "kmeans", "threads": 4}
+        assert s.seconds >= 0.0
+        assert s.error is None
+
+    def test_exception_recorded_and_reraised(self):
+        obs.set_enabled(True)
+        with pytest.raises(ValueError):
+            with span("boom"):
+                raise ValueError("nope")
+        [s] = obs.RECORDER.spans
+        assert s.error == "ValueError"
+        assert "error" in s.to_dict()
+
+
+class TestNesting:
+    def test_children_recorded_before_parents(self):
+        """Completion order: inner spans land first (natural for JSONL)."""
+        obs.set_enabled(True)
+        with span("outer"):
+            with span("inner"):
+                with span("innermost"):
+                    pass
+            with span("sibling"):
+                pass
+        names = [s.name for s in obs.RECORDER.spans]
+        assert names == ["innermost", "inner", "sibling", "outer"]
+
+    def test_parent_ids_and_depths(self):
+        obs.set_enabled(True)
+        with span("outer") as outer_id:
+            with span("inner") as inner_id:
+                with span("innermost"):
+                    pass
+        by_name = {s.name: s for s in obs.RECORDER.spans}
+        assert by_name["outer"].parent_id is None
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].parent_id == outer_id
+        assert by_name["inner"].depth == 1
+        assert by_name["innermost"].parent_id == inner_id
+        assert by_name["innermost"].depth == 2
+
+    def test_sequential_ids_no_randomness(self):
+        obs.set_enabled(True)
+        rec = SpanRecorder()
+        ids = []
+        for _ in range(3):
+            with span("s", recorder=rec) as sid:
+                ids.append(sid)
+        assert ids == [1, 2, 3]
+
+    def test_context_restored_after_exception(self):
+        obs.set_enabled(True)
+        with span("outer"):
+            with pytest.raises(RuntimeError):
+                with span("failing"):
+                    raise RuntimeError
+            with span("after") as after_id:
+                assert after_id is not None
+        by_name = {s.name: s for s in obs.RECORDER.spans}
+        # the post-failure sibling hangs off outer, not off the failed span
+        assert by_name["after"].parent_id == by_name["outer"].span_id
+        assert by_name["after"].depth == 1
+
+
+class TestMergeAndSummary:
+    def test_merge_dicts_adds_extra_attrs(self):
+        rec = SpanRecorder()
+        rec.merge_dicts(
+            [{"name": "simx.run", "span_id": 7, "parent_id": None,
+              "depth": 0, "start": 1.0, "seconds": 0.5, "attrs": {"p": 4}}],
+            worker=3,
+        )
+        [s] = rec.spans
+        assert s.attrs == {"p": 4, "worker": 3}
+        assert s.span_id == 7
+
+    def test_merge_dicts_drops_malformed(self):
+        rec = SpanRecorder()
+        rec.merge_dicts([{"no_name": True}, {"name": "ok", "span_id": "x"}])
+        rec.merge_dicts([{"name": "good", "span_id": 1}])
+        assert [s.name for s in rec.spans] == ["good"]
+
+    def test_span_summary_rollup(self):
+        obs.set_enabled(True)
+        for _ in range(3):
+            with span("repeat"):
+                pass
+        with span("once"):
+            pass
+        summary = obs.span_summary()
+        assert summary["repeat"]["count"] == 3
+        assert summary["once"]["count"] == 1
+        assert summary["repeat"]["total_seconds"] >= summary["repeat"]["max_seconds"]
