@@ -4,14 +4,19 @@ Subcommands
 -----------
 ``list``
     Show the available experiments with one-line descriptions.
-``run <id> [--csv] [--scale S] [--parallel N]``
+``run <id> [--csv] [--scale S] [--parallel N] [--run-id ID | --resume ID]``
     Run one experiment (or ``all``) and print its report.  ``--parallel``
     executes simulator sweeps on N worker processes via
     :mod:`repro.engine`; reports are byte-identical to serial runs.
-``runall [--parallel N]``
+    ``--run-id`` journals every settled sweep unit so a killed run can be
+    picked up with ``--resume ID`` (which also restores the experiment
+    and options from the run's manifest); while a journaled or parallel
+    run is active, SIGINT/SIGTERM drains gracefully and exits 130 with a
+    resume hint (see ``docs/engine.md``).
+``runall [--parallel N] [--run-id ID | --resume ID]``
     Run every experiment with one globally-deduplicated parallel
     precompute pass (Table II and Fig 2 share their entire sweep, so it
-    runs once).
+    runs once).  Same crash-safety knobs as ``run``.
 ``predict --f F --fcon C --fored O [...]``
     One-off speedup prediction for an application you characterise on the
     command line — the library's headline use case without writing code.
@@ -59,11 +64,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available experiments")
 
     run_p = sub.add_parser("run", help="run an experiment and print its report")
-    run_p.add_argument("experiment", help="experiment id, or 'all'")
+    run_p.add_argument("experiment", nargs="?", default=None,
+                       help="experiment id, or 'all' (optional with "
+                            "--resume: the run's manifest supplies it)")
     run_p.add_argument(
         "--scale", type=float, default=None,
         help="dataset scale for simulator-backed experiments (0..1]",
     )
+    run_p.add_argument("--threads", default=None, metavar="LIST",
+                       help="comma-separated thread counts for simulator "
+                            "sweeps (e.g. 1,2,4)")
     run_p.add_argument("--csv", action="store_true", help="emit tables as CSV")
     run_p.add_argument("--plot", action="store_true",
                        help="render figure series as terminal line charts")
@@ -80,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="enable observability and write metrics + spans "
                             "as JSONL to PATH (render with 'repro stats')")
+    run_p.add_argument("--run-id", default=None, metavar="ID",
+                       help="journal settled sweep units under "
+                            ".repro-cache/runs/ID so a killed run is "
+                            "resumable with --resume ID")
+    run_p.add_argument("--resume", default=None, metavar="ID",
+                       help="resume a journaled run: replay its journal as "
+                            "the first cache tier and re-execute only what "
+                            "had not settled")
 
     runall_p = sub.add_parser(
         "runall",
@@ -101,6 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
     runall_p.add_argument("--metrics-out", metavar="PATH", default=None,
                           help="enable observability and write metrics + "
                                "spans as JSONL to PATH")
+    runall_p.add_argument("--threads", default=None, metavar="LIST",
+                          help="comma-separated thread counts for simulator "
+                               "sweeps (e.g. 1,2,4)")
+    runall_p.add_argument("--run-id", default=None, metavar="ID",
+                          help="journal settled sweep units for resumability")
+    runall_p.add_argument("--resume", default=None, metavar="ID",
+                          help="resume a journaled runall (restores options "
+                               "from the run's manifest)")
 
     pred = sub.add_parser("predict", help="speedup prediction for custom parameters")
     pred.add_argument("--f", type=float, required=True, help="parallel fraction")
@@ -234,24 +260,85 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _engine_context(args: argparse.Namespace):
-    """An installed engine session when ``--parallel`` was given, else a
-    no-op context yielding None."""
-    if getattr(args, "parallel", None) is None:
+def _gather_options(args: argparse.Namespace) -> dict:
+    """Driver options from the CLI flags (filtered per driver later)."""
+    options: dict = {}
+    if getattr(args, "scale", None) is not None:
+        options["scale"] = args.scale
+    threads = getattr(args, "threads", None)
+    if threads:
+        options["thread_counts"] = [int(t) for t in str(threads).split(",") if t]
+    return options
+
+
+def _resolve_run(args: argparse.Namespace, options: dict) -> "str | None":
+    """The run id for this invocation (``--resume`` wins over ``--run-id``).
+
+    Resuming merges the stored manifest into ``args``/``options``:
+    explicit CLI flags win, everything else comes back exactly as the
+    interrupted run had it — so ``repro run --resume <id>`` needs no
+    other arguments.
+    """
+    resume = getattr(args, "resume", None)
+    run_id = resume or getattr(args, "run_id", None)
+    if resume:
+        from repro.engine import read_manifest, run_path
+
+        manifest = read_manifest(run_path(resume)) or {}
+        if getattr(args, "experiment", None) is None:
+            args.experiment = manifest.get("experiment")
+        for k, v in (manifest.get("options") or {}).items():
+            options.setdefault(k, v)
+    return run_id
+
+
+def _write_run_manifest(run_id: str, command: str, experiment: str,
+                        options: dict) -> None:
+    from repro.engine import run_path, write_manifest
+
+    write_manifest(run_path(run_id, create=True), {
+        "command": command, "experiment": experiment, "options": options,
+    })
+
+
+def _engine_context(args: argparse.Namespace, run_id: "str | None" = None):
+    """An installed engine session when ``--parallel`` or a run id was
+    given, else a no-op context yielding None.
+
+    A run id without ``--parallel`` still needs a session (the journal
+    lives on it); it runs on one worker, which degrades to the serial
+    pool — deterministic settle order, byte-identical reports.
+    """
+    parallel = getattr(args, "parallel", None)
+    if parallel is None and run_id is None:
         return contextlib.nullcontext(None)
     from repro import engine
 
-    return engine.session(args.parallel, event_log=args.event_log)
+    return engine.session(parallel if parallel is not None else 1,
+                          event_log=args.event_log, run_id=run_id,
+                          drain_signals=True)
 
 
-def _print_reports(ids, args: argparse.Namespace) -> bool:
-    """Run and print each experiment; True when any comparison failed."""
+def _interrupted_exit(exc, run_id: "str | None") -> int:
+    """Report a graceful drain and how to pick the run back up (exit 130,
+    the shell convention for death-by-signal)."""
+    hint = f"; resume with: --resume {run_id}" if run_id else ""
+    print(f"run interrupted ({exc.reason}): {exc.settled} unit(s) settled, "
+          f"{exc.pending} pending{hint}", file=sys.stderr)
+    return 130
+
+
+def _print_reports(ids, args: argparse.Namespace, options=None) -> bool:
+    """Run and print each experiment; True when any comparison failed.
+
+    ``options`` applies across the whole batch; each driver receives
+    only the knobs it accepts (:func:`~repro.experiments.registry
+    .filter_options`)."""
+    from repro.experiments.registry import filter_options
+
     failed = False
     for eid in ids:
-        options = {}
-        if args.scale is not None and eid in ("table2", "table4", "fig2"):
-            options["scale"] = args.scale
-        report = run_experiment(eid, **options)
+        report = run_experiment(eid, **filter_options(eid, options or {}))
         if args.csv:
             for t in report.tables:
                 print(t.to_csv())
@@ -284,16 +371,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.experiments import simsweep
 
         simsweep.set_disk_store(None)
+    options = _gather_options(args)
+    run_id = _resolve_run(args, options)
+    if args.experiment is None:
+        print("run: an experiment id is required (or --resume a run whose "
+              "manifest records one)", file=sys.stderr)
+        return 2
     ids = _all_experiment_ids() if args.experiment == "all" else [args.experiment]
-    with _metrics_context(args), _engine_context(args) as sess:
+    with _metrics_context(args), _engine_context(args, run_id) as sess:
+        if run_id is not None:
+            _write_run_manifest(run_id, "run", args.experiment, options)
         if sess is not None:
-            from repro.engine import precompute
+            from repro.engine import RunInterrupted, precompute
 
-            options = {} if args.scale is None else {"scale": args.scale}
-            precompute(sess, ids, options)
-        failed = _print_reports(ids, args)
-        if sess is not None:
+            try:
+                precompute(sess, ids, options)
+                failed = _print_reports(ids, args, options)
+            except RunInterrupted as exc:
+                return _interrupted_exit(exc, run_id)
             log.info("engine: %s", sess.summary())
+        else:
+            failed = _print_reports(ids, args, options)
     return 1 if failed else 0
 
 
@@ -304,12 +402,19 @@ def _cmd_runall(args: argparse.Namespace) -> int:
         simsweep.set_disk_store(None)
     from repro import engine
 
+    options = _gather_options(args)
+    run_id = _resolve_run(args, options)
     ids = _all_experiment_ids()
     with _metrics_context(args), \
-            engine.session(args.parallel, event_log=args.event_log) as sess:
-        options = {} if args.scale is None else {"scale": args.scale}
-        engine.precompute(sess, ids, options)
-        failed = _print_reports(ids, args)
+            engine.session(args.parallel, event_log=args.event_log,
+                           run_id=run_id, drain_signals=True) as sess:
+        if run_id is not None:
+            _write_run_manifest(run_id, "runall", "all", options)
+        try:
+            engine.precompute(sess, ids, options)
+            failed = _print_reports(ids, args, options)
+        except engine.RunInterrupted as exc:
+            return _interrupted_exit(exc, run_id)
         print(f"[{len(ids)} experiments; engine: {sess.summary()}]")
     return 1 if failed else 0
 

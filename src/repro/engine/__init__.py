@@ -16,7 +16,14 @@ that parallelizes experiment execution end to end while keeping reports
   execution when ``multiprocessing`` is unavailable;
 * everything observable flows through an
   :class:`~repro.engine.events.EventLog` (progress, ETA, cache hits,
-  crashes), mirrored to ``repro.util.logging`` and optionally to JSONL.
+  crashes), mirrored to ``repro.util.logging`` and optionally to JSONL;
+* runs are **crash-safe and resumable**: with a ``run_id``, every
+  settled unit is write-ahead journaled
+  (:class:`~repro.engine.journal.RunJournal`), SIGINT/SIGTERM drains
+  gracefully (:class:`~repro.engine.pool.RunInterrupted` carries a
+  resume hint), and ``--resume`` replays the journal as a cache tier
+  ahead of the sweep store — proven by the fault-injection harness in
+  :mod:`repro.engine.chaos`.
 
 Typical use is via the CLI (``repro run <id> --parallel N``,
 ``repro runall``) or::
@@ -29,15 +36,28 @@ Typical use is via the CLI (``repro run <id> --parallel N``,
 """
 
 from repro.engine.events import EngineEvent, EventLog
+from repro.engine.journal import (
+    RunJournal,
+    new_run_id,
+    read_manifest,
+    run_path,
+    write_manifest,
+)
 from repro.engine.pool import (
     EngineError,
     PoolUnavailable,
+    RunInterrupted,
     SerialPool,
     UnitFailure,
     WorkerPool,
     default_workers,
 )
-from repro.engine.scheduler import EngineSession, precompute, session
+from repro.engine.scheduler import (
+    EngineSession,
+    drain_on_signal,
+    precompute,
+    session,
+)
 from repro.engine.units import WorkUnit, register_executor
 
 __all__ = [
@@ -46,12 +66,19 @@ __all__ = [
     "EngineSession",
     "EventLog",
     "PoolUnavailable",
+    "RunInterrupted",
+    "RunJournal",
     "SerialPool",
     "UnitFailure",
     "WorkUnit",
     "WorkerPool",
     "default_workers",
+    "drain_on_signal",
+    "new_run_id",
     "precompute",
+    "read_manifest",
     "register_executor",
+    "run_path",
     "session",
+    "write_manifest",
 ]

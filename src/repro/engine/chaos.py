@@ -1,0 +1,234 @@
+"""Deterministic fault injection for the engine's crash-safety contract.
+
+The crash-safe run machinery (journal, drain, resume) is only as good as
+the failures it has been proven against, so this module packages every
+failure mode the engine claims to survive as a *seeded, reproducible*
+injector.  The chaos suite (``tests/chaos/``) and the CI ``chaos`` job
+drive these to assert the headline property: an interrupted run, resumed
+with ``--resume``, produces **byte-identical** reports to an
+uninterrupted one.
+
+Injectors
+---------
+* **worker kill / unit hang** — executors (registered under the
+  ``chaos-kill-once`` / ``chaos-hang-once`` kinds) that SIGKILL their
+  own worker process or hang past the unit timeout on the first attempt
+  and succeed on the retry;
+* **corrupted or truncated files** — :func:`corrupt_file` and
+  :func:`truncate_tail` damage sweep-store entries and journal tails the
+  way real crashes and bad disks do (the read sides must treat both as
+  misses, never as errors);
+* **cache-write failure** — :class:`FlakyStore` wraps a
+  :class:`~repro.experiments.store.SweepStore` and deterministically
+  drops chosen ``put`` calls, simulating a full disk (the run must still
+  complete, and the journal must still make it resumable);
+* **parent-process death** — setting ``REPRO_CHAOS_KILL_AT_SETTLE=<n>``
+  in a subprocess's environment makes
+  :func:`maybe_kill_on_settle` SIGKILL the whole process immediately
+  after the *n*-th journal record is durable, which is the harshest
+  possible interruption point the resume path must recover from.
+
+Everything takes an explicit seed (:class:`Chaos` wraps
+``random.Random``) so a failing chaos scenario replays exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.engine.units import register_executor
+
+__all__ = [
+    "Chaos",
+    "FlakyStore",
+    "KILL_AT_SETTLE_ENV",
+    "corrupt_file",
+    "truncate_tail",
+    "corrupt_store_entry",
+    "maybe_kill_on_settle",
+    "KILL_ONCE",
+    "HANG_ONCE",
+]
+
+#: environment variable: SIGKILL the process after this many journal settles
+KILL_AT_SETTLE_ENV = "REPRO_CHAOS_KILL_AT_SETTLE"
+
+
+class Chaos:
+    """Seeded decision source so every injected fault is replayable."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def settle_point(self, n_units: int) -> int:
+        """A settle count to die at, strictly inside the run (1..n-1)."""
+        if n_units < 2:
+            return 1
+        return self.rng.randrange(1, n_units)
+
+    def pick(self, seq: Sequence):
+        """One deterministic choice from a sequence."""
+        return seq[self.rng.randrange(len(seq))]
+
+    def indices(self, n: int, k: int) -> "set[int]":
+        """``k`` distinct indices out of ``n`` (for choosing victims)."""
+        k = max(0, min(k, n))
+        return set(self.rng.sample(range(n), k))
+
+
+# ── file corruption ────────────────────────────────────────────────────────
+
+
+def corrupt_file(path: "str | Path", mode: str = "truncate", seed: int = 0) -> Path:
+    """Damage a file the way crashes and bit rot do.
+
+    ``truncate`` cuts the file at a seeded interior point (a half-written
+    entry), ``garbage`` overwrites a seeded slice with junk bytes (bit
+    rot), ``empty`` leaves a zero-byte file (an interrupted create).
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    rng = random.Random(seed)
+    if mode == "truncate":
+        cut = rng.randrange(1, len(data)) if len(data) > 1 else 0
+        path.write_bytes(data[:cut])
+    elif mode == "garbage":
+        if data:
+            start = rng.randrange(len(data))
+            end = min(len(data), start + max(1, len(data) // 4))
+            junk = bytes(rng.randrange(256) for _ in range(end - start))
+            path.write_bytes(data[:start] + junk + data[end:])
+    elif mode == "empty":
+        path.write_bytes(b"")
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}; "
+                         "expected truncate|garbage|empty")
+    return path
+
+
+def truncate_tail(path: "str | Path", nbytes: int = 7) -> Path:
+    """Cut the last ``nbytes`` off a file — the exact shape of a journal
+    whose writer was killed mid-append."""
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: max(0, len(data) - nbytes)])
+    return path
+
+
+def corrupt_store_entry(store, key: str, mode: str = "truncate",
+                        seed: int = 0) -> Path:
+    """Corrupt one committed sweep-store entry (``store.path_for(key)``)."""
+    return corrupt_file(store.path_for(key), mode=mode, seed=seed)
+
+
+# ── cache-write failure ────────────────────────────────────────────────────
+
+
+class FlakyStore:
+    """A sweep-store wrapper whose writes deterministically fail.
+
+    Wraps any object with the :class:`~repro.experiments.store.SweepStore`
+    interface; ``put`` calls whose 0-based index is in ``fail_puts`` (or
+    *all* of them with ``fail_all``) are dropped and report ``None`` —
+    exactly the store's own disk-full behaviour.  Reads pass through, so
+    the run sees a cache that silently loses writes.
+    """
+
+    def __init__(self, inner, *, fail_puts: "Iterable[int]" = (),
+                 fail_all: bool = False):
+        self.inner = inner
+        self.fail_puts = set(fail_puts)
+        self.fail_all = fail_all
+        self.puts = 0
+        self.dropped = 0
+
+    def put(self, key: str, payload: dict) -> "Path | None":
+        index = self.puts
+        self.puts += 1
+        if self.fail_all or index in self.fail_puts:
+            self.dropped += 1
+            return None
+        return self.inner.put(key, payload)
+
+    # reads and bookkeeping delegate untouched
+    def get(self, key: str):
+        return self.inner.get(key)
+
+    def path_for(self, key: str):
+        return self.inner.path_for(key)
+
+    def key_for(self, description: dict) -> str:
+        return self.inner.key_for(description)
+
+    def clear(self) -> int:
+        return self.inner.clear()
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    @property
+    def root(self):
+        return self.inner.root
+
+
+# ── parent-process death ───────────────────────────────────────────────────
+
+
+def maybe_kill_on_settle(settled: int) -> None:
+    """SIGKILL the current process when the chaos env var says this settle
+    count is the chosen death point (no-op otherwise).
+
+    Called by :meth:`~repro.engine.journal.RunJournal.record` after each
+    record is flushed, so the journal is durable up to and including the
+    fatal settle — the invariant resume depends on.
+    """
+    raw = os.environ.get(KILL_AT_SETTLE_ENV)
+    if not raw:
+        return
+    try:
+        n = int(raw)
+    except ValueError:
+        return
+    if 0 < n <= settled:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+# ── fault-injecting executors (for pool-level chaos tests) ─────────────────
+
+KILL_ONCE = "chaos-kill-once"
+HANG_ONCE = "chaos-hang-once"
+
+
+def _kill_once(spec: tuple) -> dict:
+    """SIGKILL this worker on the first attempt; succeed on the retry.
+
+    ``spec`` is ``(marker_path, value)``; the marker file records that an
+    attempt already died, making the injection exactly-once.
+    """
+    marker, value = spec
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"value": value}
+
+
+def _hang_once(spec: tuple) -> dict:
+    """Sleep past the unit timeout on the first attempt; then succeed.
+
+    ``spec`` is ``(marker_path, hang_seconds, value)``.
+    """
+    marker, hang_seconds, value = spec
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        time.sleep(hang_seconds)
+    return {"value": value}
+
+
+register_executor(KILL_ONCE, _kill_once)
+register_executor(HANG_ONCE, _hang_once)

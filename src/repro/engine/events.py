@@ -37,7 +37,8 @@ _EVENTS = obs.counter("engine_events_total", "engine events emitted",
 #: event kinds that indicate something went wrong (logged at WARNING)
 _WARN_KINDS = frozenset({
     "worker_crashed", "unit_timeout", "unit_retry", "serial_fallback",
-    "cache_put_failed",
+    "cache_put_failed", "journal_write_failed", "drain_started",
+    "run_interrupted",
 })
 
 

@@ -48,6 +48,7 @@ __all__ = [
     "EngineError",
     "UnitFailure",
     "PoolUnavailable",
+    "RunInterrupted",
     "SerialPool",
     "WorkerPool",
     "default_workers",
@@ -86,6 +87,27 @@ class UnitFailure(EngineError):
 
 class PoolUnavailable(EngineError):
     """Worker processes cannot be created on this platform/configuration."""
+
+
+class RunInterrupted(EngineError):
+    """A stop request (SIGINT/SIGTERM drain) ended the run early.
+
+    Everything settled before the interrupt was already delivered through
+    ``on_result`` — and therefore journaled, when the session has a run
+    journal — so the run can be resumed; ``abandoned`` names the in-flight
+    unit keys given up on, ``pending`` counts units never dispatched.
+    """
+
+    def __init__(self, reason: str, *, settled: int = 0,
+                 abandoned: "tuple[str, ...] | list[str]" = (), pending: int = 0):
+        self.reason = reason
+        self.settled = settled
+        self.abandoned = tuple(abandoned)
+        self.pending = pending
+        super().__init__(
+            f"run interrupted ({reason}): {settled} unit(s) settled, "
+            f"{len(self.abandoned)} abandoned in flight, {pending} pending"
+        )
 
 
 def default_workers() -> int:
@@ -127,25 +149,36 @@ class SerialPool:
 
     n_workers = 1
 
-    def __init__(self, events: "EventLog | None" = None):
+    def __init__(self, events: "EventLog | None" = None,
+                 should_stop: "Callable[[], bool] | None" = None):
         self.events = events if events is not None else EventLog()
+        self.should_stop = should_stop
 
     def run(
         self,
         units: Iterable[WorkUnit],
         on_result: "Callable[[str, dict], None] | None" = None,
     ) -> dict[str, dict]:
+        units = list(units)
         results: dict[str, dict] = {}
         for unit in units:
             if unit.key in results:
                 continue
+            if self.should_stop is not None and self.should_stop():
+                pending = len({u.key for u in units} - results.keys())
+                raise RunInterrupted("stop requested", settled=len(results),
+                                     pending=pending)
             self.events.emit("unit_dispatched", key=unit.key,
                              label=unit.describe(), worker=-1, attempt=0)
             started = time.monotonic()
             try:
                 payload = execute(unit.kind, unit.spec)
             except Exception as exc:
-                raise UnitFailure(unit, f"{type(exc).__name__}: {exc}") from exc
+                # same report shape as the worker path: the full formatted
+                # traceback, so a degraded (serial) run is equally debuggable
+                raise UnitFailure(
+                    unit, f"executor raised:\n{traceback.format_exc(limit=30)}"
+                ) from exc
             results[unit.key] = payload
             _UNITS_DONE.inc(pool="serial")
             _UNIT_SECONDS.observe(time.monotonic() - started, pool="serial")
@@ -186,6 +219,8 @@ class WorkerPool:
         max_backoff: float = 5.0,
         start_method: "str | None" = None,
         events: "EventLog | None" = None,
+        should_stop: "Callable[[], bool] | None" = None,
+        drain_grace: float = 10.0,
     ):
         if _mp is None:
             raise PoolUnavailable("multiprocessing is not importable")
@@ -195,6 +230,8 @@ class WorkerPool:
         self.backoff = backoff
         self.max_backoff = max(float(max_backoff), float(backoff))
         self.start_method = start_method
+        self.should_stop = should_stop
+        self.drain_grace = float(drain_grace)
         self.events = events if events is not None else EventLog()
         self._ctx = None
         self._result_q = None
@@ -236,8 +273,8 @@ class WorkerPool:
         self.events.emit("worker_started", worker=worker_id, pid=proc.pid)
         return worker_id
 
-    def _replace(self, worker_id: int) -> None:
-        """Respawn a dead/killed worker (its slot is already forgotten)."""
+    def _discard(self, worker_id: int) -> None:
+        """Forget a dead worker's slot without respawning a replacement."""
         slot = self._slots.pop(worker_id, None)
         if slot is not None:
             try:
@@ -245,6 +282,10 @@ class WorkerPool:
                 slot.task_q.cancel_join_thread()
             except (OSError, AttributeError):
                 pass
+
+    def _replace(self, worker_id: int) -> None:
+        """Respawn a dead/killed worker (its slot is already forgotten)."""
+        self._discard(worker_id)
         fresh = self._spawn()
         _RESPAWNS.inc()
         self.events.emit("worker_restarted", worker=fresh, replaces=worker_id)
@@ -312,11 +353,17 @@ class WorkerPool:
             return {}
         if self._result_q is None:
             self._start()
+        else:
+            # top up workers abandoned by an earlier drained/failed batch
+            for _ in range(self.n_workers - len(self._slots)):
+                self._spawn()
 
         ready: deque[str] = deque(by_key)
         delayed: list[tuple[float, str]] = []  # (eligible_at, key)
         attempts: dict[str, int] = {k: 0 for k in by_key}
         results: dict[str, dict] = {}
+        draining = False
+        drain_deadline = 0.0
 
         def settle(key: str, payload: dict) -> None:
             results[key] = payload
@@ -331,6 +378,11 @@ class WorkerPool:
                 key=unit.key if unit else None,
                 label=unit.describe() if unit else None,
             )
+            if draining:
+                # no respawn, no retry: the unit is abandoned and the drain
+                # exit below reports it in RunInterrupted.abandoned
+                self._discard(worker_id)
+                return
             self._replace(worker_id)
             if unit is None or unit.key in results:
                 return
@@ -351,76 +403,114 @@ class WorkerPool:
             self.events.emit("unit_retry", key=unit.key, label=unit.describe(),
                              attempt=attempts[unit.key], delay_s=round(delay, 3))
 
-        while len(results) < len(by_key):
-            now = time.monotonic()
-            _QUEUE_DEPTH.set(len(by_key) - len(results))
-            # mature delayed retries back into the ready queue
-            still: list[tuple[float, str]] = []
-            for eligible_at, key in delayed:
-                if eligible_at <= now:
-                    ready.append(key)
-                else:
-                    still.append((eligible_at, key))
-            delayed = still
-            # hand a unit to every idle worker
-            for worker_id, slot in self._slots.items():
-                if slot.unit is not None:
-                    continue
-                while ready:
-                    key = ready.popleft()
-                    if key not in results:  # skip late-settled duplicates
-                        unit = by_key[key]
-                        slot.unit = unit
-                        slot.deadline = (
-                            now + self.unit_timeout if self.unit_timeout else None
-                        )
-                        slot.started = now
-                        slot.task_q.put((unit.key, unit.kind, unit.spec))
-                        self.events.emit(
-                            "unit_dispatched", key=key, label=unit.describe(),
-                            worker=worker_id, attempt=attempts[key],
-                        )
-                        break
-            # collect one result (short timeout keeps the loop responsive)
-            try:
-                worker_id, key, ok, payload, delta = self._result_q.get(
-                    timeout=_POLL_S)
-            except (queue_mod.Empty, EOFError, OSError):
-                pass
-            else:
-                obs.merge_delta(delta, worker=worker_id)
-                seconds = None
-                slot = self._slots.get(worker_id)
-                if slot is not None and slot.unit is not None and slot.unit.key == key:
-                    if slot.started is not None:
-                        seconds = time.monotonic() - slot.started
-                    slot.unit = None
-                    slot.deadline = None
-                    slot.started = None
-                if key in by_key and key not in results:
-                    if ok:
-                        settle(key, payload)
-                        _UNITS_DONE.inc(pool="worker")
-                        if seconds is not None:
-                            _UNIT_SECONDS.observe(seconds, pool="worker")
-                        self.events.emit("unit_done", key=key,
-                                         label=by_key[key].describe(),
-                                         worker=worker_id)
-                    else:
-                        raise UnitFailure(by_key[key], f"executor raised:\n{payload}")
-            # detect dead workers and expired deadlines
-            now = time.monotonic()
-            for worker_id, slot in list(self._slots.items()):
-                if not slot.proc.is_alive():
-                    crashed(worker_id, slot, "process died")
-                elif slot.deadline is not None and now > slot.deadline:
+        try:
+            while len(results) < len(by_key):
+                now = time.monotonic()
+                _QUEUE_DEPTH.set(len(by_key) - len(results))
+                if (not draining and self.should_stop is not None
+                        and self.should_stop()):
+                    # drain: dispatch nothing further, give in-flight units a
+                    # grace window to settle, then abandon what remains
+                    draining = True
+                    drain_deadline = now + self.drain_grace
                     self.events.emit(
-                        "unit_timeout", key=slot.unit.key,
-                        label=slot.unit.describe(), worker=worker_id,
-                        timeout_s=self.unit_timeout,
+                        "drain_started",
+                        in_flight=sum(1 for s in self._slots.values()
+                                      if s.unit is not None),
+                        pending=len(by_key) - len(results),
+                        grace_s=self.drain_grace,
                     )
-                    slot.proc.kill()
-                    slot.proc.join(1.0)
-                    crashed(worker_id, slot, "unit timeout")
-        _QUEUE_DEPTH.set(0)
+                if not draining:
+                    # mature delayed retries back into the ready queue
+                    still: list[tuple[float, str]] = []
+                    for eligible_at, key in delayed:
+                        if eligible_at <= now:
+                            ready.append(key)
+                        else:
+                            still.append((eligible_at, key))
+                    delayed = still
+                    # hand a unit to every idle worker
+                    for worker_id, slot in self._slots.items():
+                        if slot.unit is not None:
+                            continue
+                        while ready:
+                            key = ready.popleft()
+                            if key not in results:  # skip late-settled duplicates
+                                unit = by_key[key]
+                                slot.unit = unit
+                                slot.deadline = (
+                                    now + self.unit_timeout
+                                    if self.unit_timeout else None
+                                )
+                                slot.started = now
+                                slot.task_q.put((unit.key, unit.kind, unit.spec))
+                                self.events.emit(
+                                    "unit_dispatched", key=key,
+                                    label=unit.describe(),
+                                    worker=worker_id, attempt=attempts[key],
+                                )
+                                break
+                # collect one result (short timeout keeps the loop responsive)
+                try:
+                    worker_id, key, ok, payload, delta = self._result_q.get(
+                        timeout=_POLL_S)
+                except (queue_mod.Empty, EOFError, OSError):
+                    pass
+                else:
+                    obs.merge_delta(delta, worker=worker_id)
+                    seconds = None
+                    slot = self._slots.get(worker_id)
+                    if slot is not None and slot.unit is not None and slot.unit.key == key:
+                        if slot.started is not None:
+                            seconds = time.monotonic() - slot.started
+                        slot.unit = None
+                        slot.deadline = None
+                        slot.started = None
+                    if key in by_key and key not in results:
+                        if ok:
+                            settle(key, payload)
+                            _UNITS_DONE.inc(pool="worker")
+                            if seconds is not None:
+                                _UNIT_SECONDS.observe(seconds, pool="worker")
+                            self.events.emit("unit_done", key=key,
+                                             label=by_key[key].describe(),
+                                             worker=worker_id)
+                        else:
+                            raise UnitFailure(by_key[key],
+                                              f"executor raised:\n{payload}")
+                if draining:
+                    in_flight = sorted(
+                        s.unit.key for s in self._slots.values()
+                        if s.unit is not None and s.unit.key not in results
+                    )
+                    if not in_flight or time.monotonic() > drain_deadline:
+                        pending = len(by_key) - len(results) - len(in_flight)
+                        raise RunInterrupted(
+                            "stop requested", settled=len(results),
+                            abandoned=in_flight, pending=pending,
+                        )
+                # detect dead workers and expired deadlines
+                now = time.monotonic()
+                for worker_id, slot in list(self._slots.items()):
+                    if not slot.proc.is_alive():
+                        crashed(worker_id, slot, "process died")
+                    elif slot.deadline is not None and now > slot.deadline:
+                        self.events.emit(
+                            "unit_timeout", key=slot.unit.key,
+                            label=slot.unit.describe(), worker=worker_id,
+                            timeout_s=self.unit_timeout,
+                        )
+                        slot.proc.kill()
+                        slot.proc.join(1.0)
+                        crashed(worker_id, slot, "unit timeout")
+        finally:
+            # whatever path exits the loop — success, UnitFailure, a drain's
+            # RunInterrupted — the pool must come back clean: no slot may
+            # keep an abandoned unit (a reused pool would mis-see busy
+            # workers) and the queue-depth gauge must not stick nonzero
+            for slot in self._slots.values():
+                slot.unit = None
+                slot.deadline = None
+                slot.started = None
+            _QUEUE_DEPTH.set(0)
         return results

@@ -20,6 +20,7 @@ __all__ = [
     "get_experiment",
     "run_experiment",
     "validate_options",
+    "filter_options",
     "describe_experiment",
     "declare_units",
 ]
@@ -107,6 +108,21 @@ def validate_options(experiment_id: str, options: Mapping[str, object]) -> None:
             f"{', '.join(repr(o) for o in unknown)}; accepted: "
             f"{', '.join(sorted(accepted)) or '(none)'}"
         )
+
+
+def filter_options(experiment_id: str,
+                   options: Mapping[str, object]) -> dict:
+    """The subset of ``options`` the experiment's driver accepts.
+
+    The forgiving counterpart of :func:`validate_options`, for callers
+    that apply one option set across many experiments (``repro runall
+    --scale 0.1``, resume manifests): each driver receives only the
+    knobs it understands.  Drivers taking ``**kwargs`` accept all.
+    """
+    accepted = _accepted_options(get_experiment(experiment_id))
+    if accepted is None:
+        return dict(options)
+    return {k: v for k, v in options.items() if k in accepted}
 
 
 _EXPERIMENT_SECONDS = obs.histogram(

@@ -179,10 +179,15 @@ def clear_cache(memory_only: bool = False) -> None:
 
 
 def cache_info() -> dict:
-    """Hit/miss counters and tier sizes (for benchmarks and ``cache info``)."""
+    """Hit/miss counters and tier sizes (for benchmarks and ``cache info``).
+
+    When the ambient engine session carries a run journal (a ``--run-id``
+    / ``--resume`` run), the journal tier is reported too — its entries
+    are consulted *ahead of* the disk store.
+    """
     disk = _get_disk()
     lookups = sum(_stats.values())
-    return {
+    info = {
         **_stats,
         "lookups": lookups,
         "hit_rate": (_stats["memory_hits"] + _stats["disk_hits"]) / lookups
@@ -192,6 +197,12 @@ def cache_info() -> dict:
         "disk_entries": len(disk) if disk is not None else 0,
         "disk_path": str(disk.root) if disk is not None else None,
     }
+    journal = getattr(_engine, "journal", None)
+    if journal is not None:
+        info["journal_entries"] = len(journal)
+        info["journal_path"] = str(journal.path)
+        info["journal_hits"] = _engine.stats.get("journal_hits", 0)
+    return info
 
 
 def default_workloads(

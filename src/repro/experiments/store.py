@@ -185,7 +185,10 @@ class SweepStore:
             self.root.mkdir(parents=True, exist_ok=True)
             tmp.write_text(json.dumps(record, sort_keys=True) + "\n")
             os.replace(tmp, path)
-        except OSError:
+        except (OSError, TypeError, ValueError):
+            # TypeError/ValueError: payload not JSON-serialisable — as much
+            # a failed write as a full disk, and must honour the same
+            # never-raise contract
             try:
                 tmp.unlink()
             except OSError:

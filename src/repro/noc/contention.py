@@ -35,7 +35,17 @@ __all__ = [
 
 @dataclass(frozen=True)
 class TrafficAnalysis:
-    """Per-link load statistics for one traffic pattern on a mesh."""
+    """Per-link load statistics for one traffic pattern on a mesh.
+
+    All mean-based statistics use the **bidirectional-capacity
+    convention**: a mesh of ``total_links`` undirected links offers
+    ``2 * total_links`` unit-time transfer slots (one per direction),
+    matching Eq 8's aggregate-capacity denominator and
+    :meth:`~repro.noc.topology.Mesh2D.link_operations`.  Under this one
+    convention ``imbalance == bottleneck_time / uniform_time`` exactly —
+    the hottest-link slowdown factor relative to Eq 8's optimistic
+    balanced-traffic estimate.
+    """
 
     n_nodes: int
     total_transfers: int
@@ -46,7 +56,8 @@ class TrafficAnalysis:
 
     @property
     def imbalance(self) -> float:
-        """Hottest-link load over the mean (1.0 = perfectly balanced)."""
+        """Hottest-link load over the capacity-convention mean (1.0 =
+        perfectly balanced; equals ``bottleneck_time / uniform_time``)."""
         if self.mean_link_load == 0:
             return 1.0
         return self.max_link_load / self.mean_link_load
@@ -104,7 +115,10 @@ def analyse_pattern(mesh: Mesh2D, pairs: list[tuple[int, int]]) -> TrafficAnalys
         n_nodes=mesh.n_nodes,
         total_transfers=int(values.sum()),
         max_link_load=int(values.max()),
-        mean_link_load=float(values.sum() / total_links),
+        # bidirectional-capacity convention (2 directed slots per
+        # undirected link), same denominator as uniform_time — so
+        # imbalance == bottleneck_time / uniform_time
+        mean_link_load=float(values.sum() / (2 * total_links)),
         busy_links=len(loads),
         total_links=total_links,
     )

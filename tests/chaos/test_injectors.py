@@ -1,0 +1,144 @@
+"""The injectors themselves: seeded, reproducible, correctly scoped."""
+
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine.chaos import (
+    KILL_AT_SETTLE_ENV,
+    Chaos,
+    FlakyStore,
+    corrupt_file,
+    corrupt_store_entry,
+    truncate_tail,
+)
+from repro.experiments.store import SweepStore
+
+
+class TestChaosDeterminism:
+    def test_same_seed_same_decisions(self):
+        a, b = Chaos(seed=7), Chaos(seed=7)
+        assert [a.settle_point(20) for _ in range(5)] == [
+            b.settle_point(20) for _ in range(5)
+        ]
+        assert a.indices(10, 3) == b.indices(10, 3)
+        assert a.pick("abcdef") == b.pick("abcdef")
+
+    def test_different_seeds_diverge(self):
+        points_a = [Chaos(seed=1).settle_point(1000) for _ in range(3)]
+        points_b = [Chaos(seed=2).settle_point(1000) for _ in range(3)]
+        assert points_a != points_b
+
+    def test_settle_point_strictly_inside_run(self):
+        chaos = Chaos(seed=3)
+        for n in (2, 5, 50):
+            for _ in range(20):
+                assert 1 <= chaos.settle_point(n) < n
+        assert chaos.settle_point(1) == 1
+
+
+class TestFileCorruption:
+    def test_truncate_cuts_interior(self, tmp_path):
+        p = tmp_path / "f"
+        p.write_bytes(b"x" * 100)
+        corrupt_file(p, mode="truncate", seed=0)
+        assert 0 < len(p.read_bytes()) < 100
+
+    def test_garbage_keeps_length(self, tmp_path):
+        p = tmp_path / "f"
+        p.write_bytes(b"x" * 100)
+        corrupt_file(p, mode="garbage", seed=0)
+        data = p.read_bytes()
+        assert len(data) == 100 and data != b"x" * 100
+
+    def test_empty_mode(self, tmp_path):
+        p = tmp_path / "f"
+        p.write_bytes(b"x" * 100)
+        corrupt_file(p, mode="empty")
+        assert p.read_bytes() == b""
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        p = tmp_path / "f"
+        p.write_bytes(b"x")
+        with pytest.raises(ValueError):
+            corrupt_file(p, mode="set-on-fire")
+
+    def test_corruption_is_seeded(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.write_bytes(b"x" * 100)
+        b.write_bytes(b"x" * 100)
+        corrupt_file(a, mode="garbage", seed=5)
+        corrupt_file(b, mode="garbage", seed=5)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_truncate_tail(self, tmp_path):
+        p = tmp_path / "f"
+        p.write_bytes(b"0123456789")
+        truncate_tail(p, nbytes=4)
+        assert p.read_bytes() == b"012345"
+
+    def test_corrupt_store_entry_makes_a_miss(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.put("deadbeef", {"value": 1})
+        assert store.get("deadbeef") == {"value": 1}
+        corrupt_store_entry(store, "deadbeef", mode="garbage", seed=0)
+        assert store.get("deadbeef") is None  # corrupt reads as a miss
+
+
+class TestFlakyStore:
+    def test_drops_chosen_puts(self, tmp_path):
+        flaky = FlakyStore(SweepStore(tmp_path), fail_puts={1})
+        assert flaky.put("k0", {"v": 0}) is not None
+        assert flaky.put("k1", {"v": 1}) is None  # dropped
+        assert flaky.put("k2", {"v": 2}) is not None
+        assert flaky.puts == 3 and flaky.dropped == 1
+        assert flaky.get("k0") == {"v": 0}
+        assert flaky.get("k1") is None
+
+    def test_fail_all(self, tmp_path):
+        flaky = FlakyStore(SweepStore(tmp_path), fail_all=True)
+        for i in range(4):
+            assert flaky.put(f"k{i}", {"v": i}) is None
+        assert flaky.dropped == 4
+        assert len(flaky) == 0
+
+    def test_reads_and_keys_delegate(self, tmp_path):
+        inner = SweepStore(tmp_path)
+        flaky = FlakyStore(inner)
+        desc = {"a": 1}
+        assert flaky.key_for(desc) == inner.key_for(desc)
+        assert flaky.path_for("k") == inner.path_for("k")
+        assert flaky.root == inner.root
+
+
+class TestKillAtSettle:
+    def test_noop_without_env(self, monkeypatch):
+        from repro.engine.chaos import maybe_kill_on_settle
+
+        monkeypatch.delenv(KILL_AT_SETTLE_ENV, raising=False)
+        maybe_kill_on_settle(100)  # must not raise or kill
+
+    def test_noop_below_threshold_or_garbage(self, monkeypatch):
+        from repro.engine.chaos import maybe_kill_on_settle
+
+        monkeypatch.setenv(KILL_AT_SETTLE_ENV, "5")
+        maybe_kill_on_settle(4)
+        monkeypatch.setenv(KILL_AT_SETTLE_ENV, "not-a-number")
+        maybe_kill_on_settle(100)
+        monkeypatch.setenv(KILL_AT_SETTLE_ENV, "0")
+        maybe_kill_on_settle(100)
+
+    def test_kills_process_at_threshold(self):
+        code = (
+            "from repro.engine.chaos import maybe_kill_on_settle\n"
+            "maybe_kill_on_settle(3)\n"
+            "print('survived')\n"
+        )
+        env = dict(os.environ, **{KILL_AT_SETTLE_ENV: "3"})
+        proc = subprocess.run([sys.executable, "-c", code],
+                              capture_output=True, env=env)
+        assert proc.returncode == -signal.SIGKILL
+        assert b"survived" not in proc.stdout

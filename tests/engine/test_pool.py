@@ -13,7 +13,12 @@ import time
 import pytest
 
 from repro.engine.events import EventLog
-from repro.engine.pool import SerialPool, UnitFailure, WorkerPool
+from repro.engine.pool import (
+    RunInterrupted,
+    SerialPool,
+    UnitFailure,
+    WorkerPool,
+)
 from repro.engine.units import WorkUnit, register_executor
 
 fork_only = pytest.mark.skipif(
@@ -77,6 +82,30 @@ class TestSerialPool:
                          on_result=lambda k, p: seen.append((k, p)))
         assert seen == [("a", {"value": 2})]
 
+    def test_failure_carries_the_full_traceback(self):
+        """Parity with the worker path: the serial failure report must
+        include the formatted traceback, not just the exception repr."""
+        with pytest.raises(UnitFailure) as exc_info:
+            SerialPool().run([unit("t-boom", "k0", 7)])
+        assert "Traceback (most recent call last)" in str(exc_info.value)
+        assert "ValueError: bad spec 7" in str(exc_info.value)
+
+    def test_stop_request_interrupts_between_units(self):
+        stop_after = {"n": 2}
+
+        def should_stop():
+            return stop_after["n"] <= 0
+
+        def on_result(key, payload):
+            stop_after["n"] -= 1
+
+        pool = SerialPool(should_stop=should_stop)
+        with pytest.raises(RunInterrupted) as exc_info:
+            pool.run([unit("t-echo", f"k{i}", i) for i in range(5)],
+                     on_result=on_result)
+        assert exc_info.value.settled == 2
+        assert exc_info.value.pending == 3
+
 
 @fork_only
 class TestWorkerPool:
@@ -117,3 +146,64 @@ class TestWorkerPool:
         assert pool.events.count("unit_timeout") >= 1
         assert pool.events.count("unit_retry") >= 1
         assert pool.events.count("worker_restarted") >= 1
+
+    def test_pool_reusable_after_unit_failure(self):
+        """A failed batch must not leave dirty slots: the next batch on
+        the same pool runs normally (regression: in-flight bookkeeping
+        survived the UnitFailure raise and mis-saw busy workers)."""
+        with WorkerPool(2, unit_timeout=60.0) as pool:
+            with pytest.raises(UnitFailure):
+                pool.run([unit("t-boom", "bad", 1)] +
+                         [unit("t-echo", f"k{i}", i) for i in range(4)])
+            # every slot must be idle again
+            assert all(s.unit is None and s.deadline is None
+                       and s.started is None for s in pool._slots.values())
+            results = pool.run([unit("t-echo", "after", 21)])
+        assert results == {"after": {"value": 42}}
+
+    def test_queue_depth_gauge_resets_after_failure(self):
+        from repro import obs
+
+        obs.set_enabled(True)
+        try:
+            obs.reset()
+            with WorkerPool(2, unit_timeout=60.0) as pool:
+                with pytest.raises(UnitFailure):
+                    pool.run([unit("t-boom", "bad", 1)] +
+                             [unit("t-echo", f"g{i}", i) for i in range(3)])
+                gauge = obs.gauge("engine_queue_depth", "")
+                assert gauge.value() == 0
+        finally:
+            obs.set_enabled(False)
+            obs.reset()
+
+    def test_stop_request_drains_and_reports_state(self):
+        stop = {"flag": False}
+        with WorkerPool(2, unit_timeout=60.0, backoff=0.01,
+                        should_stop=lambda: stop["flag"],
+                        drain_grace=5.0) as pool:
+            def on_result(key, payload):
+                stop["flag"] = True  # request the stop after the 1st settle
+
+            with pytest.raises(RunInterrupted) as exc_info:
+                pool.run([unit("t-echo", f"k{i}", i) for i in range(8)],
+                         on_result=on_result)
+        exc = exc_info.value
+        assert exc.settled >= 1
+        assert exc.settled + len(exc.abandoned) + exc.pending == 8
+        assert pool.events.count("drain_started") == 1
+
+    def test_pool_reusable_after_drain(self):
+        stop = {"flag": False}
+        with WorkerPool(2, unit_timeout=60.0, backoff=0.01,
+                        should_stop=lambda: stop["flag"],
+                        drain_grace=5.0) as pool:
+            def on_result(key, payload):
+                stop["flag"] = True
+
+            with pytest.raises(RunInterrupted):
+                pool.run([unit("t-echo", f"k{i}", i) for i in range(8)],
+                         on_result=on_result)
+            stop["flag"] = False  # stop cleared: the pool must work again
+            results = pool.run([unit("t-echo", "again", 5)])
+        assert results == {"again": {"value": 10}}

@@ -19,6 +19,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["predict"])
 
+    def test_run_experiment_optional_with_resume(self):
+        args = build_parser().parse_args(["run", "--resume", "nightly"])
+        assert args.experiment is None and args.resume == "nightly"
+
+    def test_run_accepts_run_id_and_threads(self):
+        args = build_parser().parse_args(
+            ["run", "table2", "--run-id", "r1", "--threads", "1,2,4"])
+        assert args.run_id == "r1" and args.threads == "1,2,4"
+
 
 class TestCommands:
     def test_list_prints_experiments(self, capsys):
@@ -57,6 +66,24 @@ class TestCommands:
     def test_run_unknown_experiment(self):
         with pytest.raises(ValueError):
             main(["run", "fig99"])
+
+    def test_run_without_experiment_or_manifest_is_an_error(
+            self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        assert main(["run"]) == 2
+        assert "experiment id is required" in capsys.readouterr().err
+
+    def test_run_with_run_id_journals_and_resumes(
+            self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        assert main(["run", "fig7", "--run-id", "cli-r1"]) == 0
+        run_dir = tmp_path / "cli-r1"
+        assert (run_dir / "manifest.json").exists()
+        assert (run_dir / "events.jsonl").exists()
+        capsys.readouterr()
+        # resume needs no experiment argument: the manifest supplies it
+        assert main(["run", "--resume", "cli-r1"]) == 0
+        assert "fig7" in capsys.readouterr().out
 
     def test_predict(self, capsys):
         rc = main([

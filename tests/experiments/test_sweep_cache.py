@@ -74,6 +74,20 @@ class TestSweepStoreRoundTrip:
         assert store.get(key) == {"v": 2}
         assert len(store) == 1
 
+    def test_unserialisable_payload_never_raises(self, store):
+        """The "a failed write never raises" contract must cover
+        ``json.dumps`` failures, not just OS errors (regression: a
+        TypeError used to escape ``put``)."""
+        key = store.key_for({"x": "bad"})
+        assert store.put(key, {"v": object()}) is None
+        assert store.put(key, {"v": {1, 2}}) is None  # sets aren't JSON
+        assert store.get(key) is None
+        # no half-written temp files left behind
+        assert not list(store.root.glob("*.tmp"))
+        # the store still works for good payloads afterwards
+        assert store.put(key, {"v": 1}) is not None
+        assert store.get(key) == {"v": 1}
+
 
 class TestKeySensitivity:
     def test_key_is_deterministic(self, store):

@@ -62,6 +62,33 @@ class TestAnalysis:
         center = analyse_pattern(mesh, gather_pattern(mesh, mesh.node_at(3, 3)))
         assert center.max_link_load < corner.max_link_load
 
+    def test_4x4_gather_pins_the_corrected_imbalance(self):
+        """Regression for the factor-of-2 convention mismatch: all mean
+        statistics use bidirectional capacity (2 slots per undirected
+        link), so for the 4x4 corner gather — 48 total hop-transfers,
+        hottest link 12, 24 links — the mean is exactly 1.0 and the
+        imbalance exactly 12.0 (it used to read 6.0 against a
+        half-capacity mean while uniform_time used full capacity)."""
+        mesh = Mesh2D(16)
+        analysis = analyse_pattern(mesh, gather_pattern(mesh, 0))
+        assert analysis.total_transfers == 48
+        assert analysis.max_link_load == 12
+        assert analysis.total_links == 24
+        assert analysis.mean_link_load == pytest.approx(1.0)
+        assert analysis.imbalance == pytest.approx(12.0)
+        assert analysis.uniform_time == pytest.approx(1.0)
+        assert analysis.bottleneck_time == pytest.approx(12.0)
+
+    def test_imbalance_equals_bottleneck_over_uniform(self):
+        """The one-convention invariant the fix establishes, across
+        patterns and mesh sizes."""
+        for n in (4, 16, 64):
+            mesh = Mesh2D(n)
+            for pairs in (gather_pattern(mesh, 0), all_to_all_pattern(mesh)):
+                a = analyse_pattern(mesh, pairs)
+                assert a.imbalance == pytest.approx(
+                    a.bottleneck_time / a.uniform_time)
+
 
 class TestContendedGrowcomm:
     def test_zero_at_single_core(self):
