@@ -4,9 +4,11 @@
 Runs the pytest-benchmark suites (``benchmarks/test_throughput.py``,
 ``benchmarks/test_fastpath.py`` and ``benchmarks/test_obs_overhead.py``),
 derives simulated ops/sec, the fast-path speedup ratios and the
-observability overhead, times a simulator sweep cold vs disk-warm, and
-writes everything to ``BENCH_simx.json`` in the repo root — the artifact
-CI uploads so the perf trajectory is tracked across commits.
+observability overhead, times a simulator sweep cold vs disk-warm,
+measures the ``runall`` precompute pass (cross-experiment unit dedup
+ratio and cold-vs-warm resolve wall-clock), and writes everything to
+``BENCH_simx.json`` in the repo root — the artifact CI uploads so the
+perf trajectory is tracked across commits.
 
 Usage::
 
@@ -164,6 +166,48 @@ def time_sweep_cache() -> dict:
     }
 
 
+def time_runall_precompute() -> dict:
+    """The ``runall`` precompute pass: declare every experiment's units,
+    measure the cross-experiment dedup ratio, and time resolving the
+    union cold vs disk-warm."""
+    from repro.experiments import simsweep
+    from repro.experiments.registry import SWEEP_DECLARATIONS, declare_units
+    from repro.pipeline import resolve_units
+
+    options = dict(scale=0.03, thread_counts=(1, 2, 16),
+                   hw_thread_counts=(1, 2))
+    units = []
+    for eid in sorted(SWEEP_DECLARATIONS):
+        units.extend(declare_units(eid, **options))
+    unique = {u.key for u in units}
+
+    with tempfile.TemporaryDirectory(prefix="repro-runall-") as tmp:
+        simsweep.set_disk_store(tmp)
+        simsweep.clear_cache(memory_only=True)
+
+        t0 = time.perf_counter()
+        resolve_units(units)
+        cold_s = time.perf_counter() - t0
+
+        simsweep.clear_cache(memory_only=True)  # drop memos, keep disk
+        t0 = time.perf_counter()
+        resolve_units(units)
+        warm_s = time.perf_counter() - t0
+
+        simsweep.set_disk_store(None)
+        simsweep.clear_cache(memory_only=True)
+
+    return {
+        "experiments": len(SWEEP_DECLARATIONS),
+        "declared_units": len(units),
+        "unique_units": len(unique),
+        "dedup_ratio": round(len(units) / len(unique), 3),
+        "cold_seconds": round(cold_s, 4),
+        "disk_warm_seconds": round(warm_s, 4),
+        "warm_speedup": round(cold_s / warm_s, 1) if warm_s else None,
+    }
+
+
 def main(argv: "list[str] | None" = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--output", default=str(REPO / "BENCH_simx.json"))
@@ -200,6 +244,7 @@ def main(argv: "list[str] | None" = None) -> int:
         },
         "obs": obs_overhead(rows),
         "sweep_cache": time_sweep_cache(),
+        "runall_precompute": time_runall_precompute(),
     }
     out = Path(args.output)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -217,6 +262,10 @@ def main(argv: "list[str] | None" = None) -> int:
     sc = report["sweep_cache"]
     print(f"  sweep cold -> disk-warm  {sc['cold_seconds']}s -> "
           f"{sc['disk_warm_seconds']}s (hit rate {sc['hit_rate']:.0%})")
+    rp = report["runall_precompute"]
+    print(f"  runall precompute        {rp['declared_units']} units -> "
+          f"{rp['unique_units']} unique (dedup {rp['dedup_ratio']}x); "
+          f"cold {rp['cold_seconds']}s -> warm {rp['disk_warm_seconds']}s")
 
     ok = True
     if fp["private_burst_speedup"] and fp["private_burst_speedup"] < 3.0:

@@ -2,8 +2,10 @@
 
 Subcommands
 -----------
-``list``
-    Show the available experiments with one-line descriptions.
+``list [--json]``
+    Show the available experiments with one-line descriptions; ``--json``
+    emits a machine-readable listing (id, description, accepted options,
+    whether the experiment declares precomputable work units).
 ``run <id> [--csv] [--scale S] [--parallel N] [--run-id ID | --resume ID]``
     Run one experiment (or ``all``) and print its report.  ``--parallel``
     executes simulator sweeps on N worker processes via
@@ -61,7 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-v", "--verbose", action="store_true")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments")
+    list_p = sub.add_parser("list", help="list available experiments")
+    list_p.add_argument("--json", action="store_true",
+                        help="machine-readable listing: id, description, "
+                             "accepted options, whether units are declared")
 
     run_p = sub.add_parser("run", help="run an experiment and print its report")
     run_p.add_argument("experiment", nargs="?", default=None,
@@ -193,7 +198,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list() -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        import json
+
+        from repro.experiments.registry import SPECS
+        from repro.pipeline import accepted_options
+
+        entries = []
+        for name in sorted(SPECS):
+            spec = SPECS[name]
+            accepted = accepted_options(spec.assemble)
+            entries.append({
+                "id": name,
+                "description": describe_experiment(name),
+                "options": sorted(accepted) if accepted is not None else None,
+                "declares_units": spec.declares_units,
+            })
+        print(json.dumps(entries, indent=2))
+        return 0
     width = max(len(name) for name in EXPERIMENTS)
     for name in sorted(EXPERIMENTS):
         print(f"{name:{width}}  {describe_experiment(name)}".rstrip())
@@ -510,7 +533,7 @@ def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     configure(verbose=args.verbose)
     if args.command == "list":
-        return _cmd_list()
+        return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "runall":

@@ -12,10 +12,24 @@ from __future__ import annotations
 
 from repro.engine.units import register_executor
 
-__all__ = ["SWEEP_POINT"]
+__all__ = [
+    "SWEEP_POINT",
+    "SIM_PROGRAM",
+    "HARDWARE_MODEL",
+    "HARDWARE_PROCESS",
+    "MODEL_EVAL",
+]
 
 #: one simulator run: (workload, n_threads, mem_scale, machine-config)
 SWEEP_POINT = "sweep-point"
+#: one simulator run of a hand-built trace: (builder-ref, kwargs, config)
+SIM_PROGRAM = "sim-program"
+#: one machine-model execution: (workload, n_threads, hardware-model)
+HARDWARE_MODEL = "hardware-model"
+#: one wall-clock execution on the host: (workload, n_threads)
+HARDWARE_PROCESS = "hardware-process"
+#: one model-layer evaluation: (function-ref, kwargs)
+MODEL_EVAL = "model-eval"
 
 
 def _run_sweep_point(spec: tuple) -> dict:
@@ -25,4 +39,32 @@ def _run_sweep_point(spec: tuple) -> dict:
     return simsweep.execute_sweep_point(workload, n_threads, mem_scale, config)
 
 
+def _run_sim_program(spec: tuple) -> dict:
+    from repro.pipeline import builders
+
+    return builders.execute_sim_program(spec)
+
+
+def _run_hardware_model(spec: tuple) -> dict:
+    from repro.pipeline import builders
+
+    return builders.execute_hardware_model(spec)
+
+
+def _run_hardware_process(spec: tuple) -> dict:
+    from repro.pipeline import builders
+
+    return builders.execute_hardware_process(spec)
+
+
+def _run_model_eval(spec: tuple) -> dict:
+    from repro.pipeline import builders
+
+    return builders.execute_model_eval(spec)
+
+
 register_executor(SWEEP_POINT, _run_sweep_point)
+register_executor(SIM_PROGRAM, _run_sim_program)
+register_executor(HARDWARE_MODEL, _run_hardware_model)
+register_executor(HARDWARE_PROCESS, _run_hardware_process)
+register_executor(MODEL_EVAL, _run_model_eval)

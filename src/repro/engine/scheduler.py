@@ -406,24 +406,27 @@ def precompute(
     experiment_ids: Iterable[str],
     options: "Mapping[str, object] | None" = None,
 ) -> int:
-    """Warm both cache tiers for the declared sweeps of ``experiment_ids``.
+    """Warm every cache tier for the declared work of ``experiment_ids``.
 
-    Collects every work unit the experiments declare (see
-    ``SWEEP_DECLARATIONS`` in :mod:`repro.experiments.registry`),
-    deduplicates them *globally* — Table II and Fig 2 share their entire
-    sweep, so it runs once — and executes the misses across the pool.
-    The drivers then run serially against hot caches, which is what
+    Collects every work unit the experiments declare — simulator sweeps,
+    hand-built trace programs, hardware executions and model-layer
+    evaluations alike (see the experiment specs in
+    :mod:`repro.experiments.registry`) — deduplicates them *globally*
+    (Table II and Fig 2 share their entire sweep, so it runs once) and
+    executes the misses across the pool in one journaled pass.  The
+    drivers then assemble serially against hot caches, which is what
     makes a parallel report byte-identical to a serial one.  Returns the
     number of units declared.
     """
-    from repro.experiments import simsweep
     from repro.experiments.registry import declare_units
+    from repro.pipeline import runtime
 
     units: list[WorkUnit] = []
     for eid in experiment_ids:
         units.extend(declare_units(eid, **dict(options or {})))
     if units:
-        log.info("precomputing %d declared sweep unit(s) on %d worker(s)",
+        log.info("precomputing %d declared work unit(s) on %d worker(s)",
                  len(units), sess.n_workers)
-        simsweep.precompute_units(sess, units)
+        sess.run_units(units, cache_get=runtime.cache_get,
+                       cache_put=runtime.cache_put)
     return len(units)

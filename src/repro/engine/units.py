@@ -35,12 +35,20 @@ _EXECUTORS: dict[str, Callable[[tuple], dict]] = {}
 
 @dataclass(frozen=True, eq=False)
 class WorkUnit:
-    """One schedulable computation (identity semantics; dedupe by ``key``)."""
+    """One schedulable computation (identity semantics; dedupe by ``key``).
+
+    ``cacheable`` marks whether the payload may be persisted in the
+    on-disk sweep store.  Non-deterministic units (wall-clock hardware
+    runs) and results that depend on unversioned model code set it False:
+    they still dedupe, journal and memoise within a run, but never
+    satisfy a lookup from an older code version.
+    """
 
     kind: str
     key: str
     spec: tuple
     label: str = ""
+    cacheable: bool = True
 
     def describe(self) -> str:
         """Short human-readable handle for logs and events."""

@@ -21,8 +21,9 @@ from repro.core import merging, optimizer
 from repro.core.params import AppParams
 from repro.core.perf import PollackPerf
 from repro.experiments.report import ExperimentReport, PaperComparison, series_table
-from repro.experiments.simsweep import simulate_breakdowns
+from repro.experiments.simsweep import simulate_breakdowns, sweep_units
 from repro.noc.comm_cost import topology_growcomm
+from repro.pipeline import ExperimentSpec, Stage
 from repro.util.tables import TextTable
 from repro.workloads.datasets import make_blobs
 from repro.workloads.instrument import extract_parameters
@@ -35,7 +36,63 @@ __all__ = [
     "run_optimal_r_map",
     "run_machine_model",
     "run",
+    "declare_units_reduction",
+    "declare_units_machine",
+    "SPECS",
 ]
+
+
+def _reduction_workloads(scale: float = 0.08) -> dict:
+    """The three merge-strategy variants of the kmeans workload."""
+    n = max(300, int(17695 * scale))
+    return {
+        strategy: KMeansWorkload(
+            make_blobs(n, 9, 8, seed=11),
+            max_iterations=3, tolerance=1e-12, reduction_strategy=strategy,
+        )
+        for strategy in ("serial", "tree", "parallel")
+    }
+
+
+def declare_units_reduction(
+    scale: float = 0.08, thread_counts: tuple = (1, 2, 4, 8, 16)
+) -> list:
+    """The reduction-strategy ablation's sweep as engine work units."""
+    units = []
+    for wl in _reduction_workloads(scale).values():
+        units.extend(sweep_units(wl, thread_counts, mem_scale=2))
+    return units
+
+
+def _machine_variants(n_cores: int) -> dict:
+    """The machine-model ablation's five simulator configurations."""
+    from repro.simx import MachineConfig
+
+    return {
+        "baseline": MachineConfig.baseline(n_cores=n_cores),
+        "banked dram": MachineConfig(n_cores=n_cores, dram="banked"),
+        "contended bus": MachineConfig(n_cores=n_cores, bus_occupancy=4),
+        "mesh interconnect": MachineConfig.baseline(n_cores, interconnect="mesh"),
+        "msi protocol": MachineConfig(n_cores=n_cores, coherence_protocol="msi"),
+    }
+
+
+def _machine_workload(scale: float) -> KMeansWorkload:
+    n = max(300, int(17695 * scale))
+    return KMeansWorkload(
+        make_blobs(n, 9, 8, seed=11), max_iterations=3, tolerance=1e-12
+    )
+
+
+def declare_units_machine(
+    scale: float = 0.06, thread_counts: tuple = (1, 2, 4, 8, 16)
+) -> list:
+    """The machine-model ablation's sweep as engine work units."""
+    wl = _machine_workload(scale)
+    units = []
+    for cfg in _machine_variants(max(thread_counts)).values():
+        units.extend(sweep_units(wl, thread_counts, mem_scale=2, config=cfg))
+    return units
 
 
 def run_perf_law(n: int = 256) -> ExperimentReport:
@@ -110,13 +167,8 @@ def run_reduction_strategy(
     report = ExperimentReport(
         "ablation-reduction", "Reduction strategy, measured on the simulator"
     )
-    n = max(300, int(17695 * scale))
     rows = {}
-    for strategy in ("serial", "tree", "parallel"):
-        wl = KMeansWorkload(
-            make_blobs(n, 9, 8, seed=11),
-            max_iterations=3, tolerance=1e-12, reduction_strategy=strategy,
-        )
+    for strategy, wl in _reduction_workloads(scale).items():
         breakdowns = simulate_breakdowns(wl, thread_counts, mem_scale=2)
         top = max(thread_counts)
         rows[strategy] = {
@@ -180,43 +232,18 @@ def run_machine_model(
     *existence and sign* of the growth, not on one latency table; this
     ablation checks that directly.
     """
-    from repro.simx import Machine, MachineConfig
-    from repro.workloads.instrument import breakdown_from_simulation
-    from repro.workloads.tracegen import program_from_execution
-
     report = ExperimentReport(
         "ablation-machine", "Parameter robustness across machine models"
     )
-    n = max(300, int(17695 * scale))
-    wl = KMeansWorkload(
-        make_blobs(n, 9, 8, seed=11), max_iterations=3, tolerance=1e-12
-    )
-    variants = {
-        "baseline": MachineConfig.baseline(n_cores=max(thread_counts)),
-        "banked dram": MachineConfig(n_cores=max(thread_counts), dram="banked"),
-        "contended bus": MachineConfig(
-            n_cores=max(thread_counts), bus_occupancy=4
-        ),
-        "mesh interconnect": MachineConfig.baseline(
-            max(thread_counts), interconnect="mesh"
-        ),
-        "msi protocol": MachineConfig(
-            n_cores=max(thread_counts), coherence_protocol="msi"
-        ),
-    }
+    wl = _machine_workload(scale)
+    variants = _machine_variants(max(thread_counts))
     t = TextTable(
         title="kmeans parameters per machine model",
         columns=["machine", "serial (%)", "fcon (%)", "fored (%)", "alpha"],
     )
     extracted = {}
     for name, cfg in variants.items():
-        machine = Machine(cfg)
-        breakdowns = {
-            p: breakdown_from_simulation(
-                machine.run(program_from_execution(wl.execute(p), mem_scale=2))
-            )
-            for p in thread_counts
-        }
+        breakdowns = simulate_breakdowns(wl, thread_counts, mem_scale=2, config=cfg)
         ep = extract_parameters(breakdowns, name)
         extracted[name] = ep
         t.add_row([
@@ -253,3 +280,28 @@ def run() -> ExperimentReport:
         combined.notes.extend(sub.notes)
         combined.raw[sub.experiment_id] = sub.raw
     return combined
+
+
+def _declare_units_aggregate() -> list:
+    """The aggregate runner takes no options, so its only simulator work
+    is the reduction-strategy ablation at its defaults."""
+    return declare_units_reduction()
+
+
+SPECS = (
+    ExperimentSpec("ablation-perf", run_perf_law),
+    ExperimentSpec("ablation-topology", run_topology),
+    ExperimentSpec(
+        "ablation-reduction", run_reduction_strategy,
+        stages=(Stage("sim-sweep", declare_units_reduction),),
+    ),
+    ExperimentSpec("ablation-rmap", run_optimal_r_map),
+    ExperimentSpec(
+        "ablation-machine", run_machine_model,
+        stages=(Stage("sim-sweep", declare_units_machine),),
+    ),
+    ExperimentSpec(
+        "ablations", run,
+        stages=(Stage("sim-sweep", _declare_units_aggregate),),
+    ),
+)

@@ -21,9 +21,10 @@ import numpy as np
 from repro.core import hill_marty, merging, optimizer
 from repro.core.params import AppParams
 from repro.experiments.report import ExperimentReport, PaperComparison
+from repro.pipeline import ExperimentSpec, Stage, model_eval_unit, resolve_units
 from repro.util.tables import TextTable
 
-__all__ = ["run"]
+__all__ = ["run", "declare_units", "evaluate_point", "SPEC"]
 
 
 def _grid():
@@ -31,6 +32,36 @@ def _grid():
         for con in (0.9, 0.75, 0.6, 0.45):
             for ored in (0.1, 0.3, 0.5, 0.8):
                 yield AppParams(f=f, fcon_share=con, fored_share=ored)
+
+
+def evaluate_point(f: float, fcon_share: float, fored_share: float, n: int) -> dict:
+    """All three conclusions' metrics at one grid point (the expensive
+    part of the sweep: three optimizations over every design of n BCEs)."""
+    p = AppParams(f=f, fcon_share=fcon_share, fored_share=fored_share)
+    hm_r, hm_sp = hill_marty.best_symmetric(p.f, n)
+    ours = merging.best_symmetric(p, n)
+    cmp_ = optimizer.compare_architectures(p, n)
+    return {
+        "hm_r": float(hm_r),
+        "hm_speedup": float(hm_sp),
+        "ours_r": float(ours.r),
+        "ours_speedup": float(ours.speedup),
+        "acmp_ratio": float(cmp_.acmp_speedup_ratio),
+        "amdahl_ratio": float(cmp_.amdahl_speedup_ratio),
+    }
+
+
+def declare_units(n: int = 256) -> list:
+    """One model-eval unit per grid point."""
+    return [
+        model_eval_unit(
+            evaluate_point,
+            {"f": p.f, "fcon_share": p.fcon_share, "fored_share": p.fored_share,
+             "n": n},
+            label=f"conclusions@f={p.f},con={p.fcon_share},ored={p.fored_share}",
+        )
+        for p in _grid()
+    ]
 
 
 def run(n: int = 256) -> ExperimentReport:
@@ -43,18 +74,18 @@ def run(n: int = 256) -> ExperimentReport:
     advantage_ratios = []
     rows = []
     points = list(_grid())
-    for p in points:
-        hm_r, hm_sp = hill_marty.best_symmetric(p.f, n)
-        ours = merging.best_symmetric(p, n)
-        cmp_ = optimizer.compare_architectures(p, n)
-        if hm_sp > ours.speedup + 1e-9:
+    units = declare_units(n)
+    payloads = resolve_units(units)
+    for p, unit in zip(points, units):
+        m = payloads[unit.key]
+        if m["hm_speedup"] > m["ours_speedup"] + 1e-9:
             overestimates += 1
-        if ours.r < hm_r:
+        if m["ours_r"] < m["hm_r"]:
             shift_violations.append(p)
         advantage_ratios.append(
-            (p.fored_share, cmp_.acmp_speedup_ratio, cmp_.amdahl_speedup_ratio)
+            (p.fored_share, m["acmp_ratio"], m["amdahl_ratio"])
         )
-        rows.append((p, hm_sp, ours, cmp_))
+        rows.append((p, m))
 
     # (a) Amdahl overestimates everywhere on the grid
     report.add_comparison(PaperComparison(
@@ -108,3 +139,8 @@ def run(n: int = 256) -> ExperimentReport:
     report.add_table(t)
     report.raw.update(rows=rows, means=means, amdahl_means=amdahl_means)
     return report
+
+
+SPEC = ExperimentSpec(
+    "conclusions", run, stages=(Stage("model-eval", declare_units),)
+)

@@ -26,7 +26,9 @@ from repro.core.scaled import (
     scaled_speedup_merging,
 )
 from repro.experiments.report import ExperimentReport, PaperComparison, series_table
+from repro.experiments.simsweep import simulate_breakdowns
 from repro.noc.contention import contended_growcomm
+from repro.pipeline import ExperimentSpec, Stage, sim_point_unit
 from repro.util.tables import TextTable
 
 __all__ = [
@@ -36,6 +38,9 @@ __all__ = [
     "run_contention",
     "run_acmp_sim",
     "run_crossover_sim",
+    "declare_units_crossover",
+    "declare_units_acmp",
+    "SPECS",
 ]
 
 
@@ -214,6 +219,38 @@ def run_contention(n: int = 256) -> ExperimentReport:
     return report
 
 
+def _crossover_workload(n_items: int, n_bins: int):
+    from repro.workloads.histogram import HistogramWorkload
+
+    return HistogramWorkload(n_items=n_items, n_bins=n_bins, seed=7)
+
+
+def _crossover_designs(budget: int) -> list:
+    """Every power-of-two split of ``budget`` BCEs into (r, cores, config)."""
+    from repro.simx import MachineConfig
+
+    designs = []
+    r = 1
+    while r <= budget:
+        nc = budget // r
+        designs.append((r, nc, MachineConfig(
+            n_cores=nc,
+            core_perf_factors=tuple(float(r) ** 0.5 for _ in range(nc)),
+        )))
+        r *= 2
+    return designs
+
+
+def declare_units_crossover(
+    budget: int = 16, n_items: int = 20000, n_bins: int = 8192
+) -> list:
+    """Every fixed-budget design's simulator run as an engine work unit."""
+    wl = _crossover_workload(n_items, n_bins)
+    return [
+        sim_point_unit(wl, nc, 2, cfg) for _, nc, cfg in _crossover_designs(budget)
+    ]
+
+
 def run_crossover_sim(
     budget: int = 16, n_items: int = 20000, n_bins: int = 8192
 ) -> ExperimentReport:
@@ -227,26 +264,15 @@ def run_crossover_sim(
     core size optimal — the paper's "fewer but more capable cores", with
     no analytic model in the loop.
     """
-    from repro.simx import Machine, MachineConfig
-    from repro.workloads.histogram import HistogramWorkload
-    from repro.workloads.tracegen import program_from_execution
-
     report = ExperimentReport(
         "ext-crossover-sim",
         "The fewer-larger-cores crossover, measured in simulation",
     )
-    wl = HistogramWorkload(n_items=n_items, n_bins=n_bins, seed=7)
+    wl = _crossover_workload(n_items, n_bins)
     cycles: dict[int, int] = {}
-    r = 1
-    while r <= budget:
-        nc = budget // r
-        cfg = MachineConfig(
-            n_cores=nc,
-            core_perf_factors=tuple(float(r) ** 0.5 for _ in range(nc)),
-        )
-        res = Machine(cfg).run(program_from_execution(wl.execute(nc), mem_scale=2))
-        cycles[r] = res.total_cycles
-        r *= 2
+    for r, nc, cfg in _crossover_designs(budget):
+        b = simulate_breakdowns(wl, [nc], mem_scale=2, config=cfg)[nc]
+        cycles[r] = int(b.total)
     t = TextTable(
         title=f"histogram (x={n_bins} bins) on every {budget}-BCE symmetric design",
         columns=["r (BCEs/core)", "cores", "cycles", "speedup vs r=1"],
@@ -271,31 +297,44 @@ def run_crossover_sim(
     return report
 
 
+def _acmp_workload(scale: float):
+    from repro.workloads.datasets import make_blobs
+    from repro.workloads.kmeans import KMeansWorkload
+
+    n_pts = max(300, int(17695 * scale))
+    return KMeansWorkload(
+        make_blobs(n_pts, 9, 8, seed=11), max_iterations=3, tolerance=1e-12
+    )
+
+
+def _acmp_configs(rl: int, n_threads: int) -> tuple:
+    from repro.simx import MachineConfig
+
+    return (
+        MachineConfig.baseline(n_cores=n_threads),
+        MachineConfig.asymmetric(rl=rl, n_small=n_threads - 1, r=1),
+    )
+
+
+def declare_units_acmp(
+    scale: float = 0.08, rl: int = 16, n_threads: int = 8
+) -> list:
+    """Both machines' kmeans runs as engine work units."""
+    wl = _acmp_workload(scale)
+    return [
+        sim_point_unit(wl, n_threads, 2, cfg) for cfg in _acmp_configs(rl, n_threads)
+    ]
+
+
 def run_acmp_sim(scale: float = 0.08, rl: int = 16, n_threads: int = 8) -> ExperimentReport:
     """Simulated ACMP vs symmetric CMP on kmeans (Eq 5's structure)."""
-    from repro.simx import Machine, MachineConfig
-    from repro.workloads.datasets import make_blobs
-    from repro.workloads.instrument import breakdown_from_simulation
-    from repro.workloads.kmeans import KMeansWorkload
-    from repro.workloads.tracegen import program_from_execution
-
     report = ExperimentReport(
         "ext-acmp-sim", "Simulated ACMP: serial sections on the large core"
     )
-    n_pts = max(300, int(17695 * scale))
-    wl = KMeansWorkload(
-        make_blobs(n_pts, 9, 8, seed=11), max_iterations=3, tolerance=1e-12
-    )
-    sym = breakdown_from_simulation(
-        Machine(MachineConfig.baseline(n_cores=n_threads)).run(
-            program_from_execution(wl.execute(n_threads), mem_scale=2)
-        )
-    )
-    acmp = breakdown_from_simulation(
-        Machine(MachineConfig.asymmetric(rl=rl, n_small=n_threads - 1, r=1)).run(
-            program_from_execution(wl.execute(n_threads), mem_scale=2)
-        )
-    )
+    wl = _acmp_workload(scale)
+    sym_cfg, acmp_cfg = _acmp_configs(rl, n_threads)
+    sym = simulate_breakdowns(wl, [n_threads], mem_scale=2, config=sym_cfg)[n_threads]
+    acmp = simulate_breakdowns(wl, [n_threads], mem_scale=2, config=acmp_cfg)[n_threads]
     t = TextTable(
         title=f"kmeans at {n_threads} threads: symmetric vs ACMP (rl={rl})",
         columns=["machine", "total", "parallel", "reduction", "init+serial"],
@@ -333,3 +372,19 @@ def run_acmp_sim(scale: float = 0.08, rl: int = 16, n_threads: int = 8) -> Exper
     ))
     report.raw.update(symmetric=sym, acmp=acmp)
     return report
+
+
+SPECS = (
+    ExperimentSpec("ext-critical", run_critical),
+    ExperimentSpec("ext-energy", run_energy),
+    ExperimentSpec("ext-scaled", run_scaled),
+    ExperimentSpec("ext-contention", run_contention),
+    ExperimentSpec(
+        "ext-acmp-sim", run_acmp_sim,
+        stages=(Stage("sim-sweep", declare_units_acmp),),
+    ),
+    ExperimentSpec(
+        "ext-crossover-sim", run_crossover_sim,
+        stages=(Stage("sim-sweep", declare_units_crossover),),
+    ),
+)

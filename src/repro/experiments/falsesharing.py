@@ -12,10 +12,11 @@ phase to be truly parallel).
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport, PaperComparison
-from repro.simx import Compute, Machine, MachineConfig, Store, ThreadTrace, TraceProgram
+from repro.pipeline import ExperimentSpec, Stage, resolve_units, sim_program_unit
+from repro.simx import Compute, MachineConfig, Store, ThreadTrace, TraceProgram
 from repro.util.tables import TextTable
 
-__all__ = ["run"]
+__all__ = ["run", "declare_units", "SPEC"]
 
 _LINE = 64
 
@@ -43,27 +44,42 @@ def _accumulation_program(
     )
 
 
+def declare_units(n_threads: int = 8, updates: int = 300) -> list:
+    """Both layouts' simulator runs as engine work units."""
+    cfg = MachineConfig.baseline(n_cores=n_threads)
+    return [
+        sim_program_unit(
+            _accumulation_program,
+            {"n_threads": n_threads, "updates": updates, "padded": padded},
+            cfg,
+            label=f"accum-{'padded' if padded else 'packed'}",
+        )
+        for padded in (True, False)
+    ]
+
+
 def run(n_threads: int = 8, updates: int = 300) -> ExperimentReport:
     """Measure packed vs padded per-thread accumulators."""
     report = ExperimentReport(
         "ext-falsesharing", "False sharing in packed per-thread accumulators"
     )
-    machine = Machine(MachineConfig.baseline(n_cores=n_threads))
-    results = {}
-    for padded in (True, False):
-        res = machine.run(_accumulation_program(n_threads, updates, padded))
-        results["padded" if padded else "packed"] = res
+    units = declare_units(n_threads, updates)
+    payloads = resolve_units(units)
+    results = {
+        ("padded" if padded else "packed"): payloads[u.key]
+        for padded, u in zip((True, False), units)
+    }
     t = TextTable(
         title=f"{n_threads} threads x {updates} private accumulator updates",
         columns=["layout", "cycles", "invalidations", "cache-to-cache"],
     )
     for name, res in results.items():
         t.add_row([
-            name, res.total_cycles,
-            res.coherence.invalidations, res.coherence.cache_to_cache,
+            name, res["total_cycles"],
+            res["invalidations"], res["cache_to_cache"],
         ])
     report.add_table(t)
-    slowdown = results["packed"].total_cycles / results["padded"].total_cycles
+    slowdown = results["packed"]["total_cycles"] / results["padded"]["total_cycles"]
     report.add_comparison(PaperComparison(
         claim="packed accumulators ping-pong: large slowdown vs padded",
         paper_value="(mechanical expectation: >2x)",
@@ -73,9 +89,14 @@ def run(n_threads: int = 8, updates: int = 300) -> ExperimentReport:
     report.add_comparison(PaperComparison(
         claim="padded layout causes no invalidation traffic at all",
         paper_value="0 invalidations",
-        measured_value=str(results["padded"].coherence.invalidations),
+        measured_value=str(results["padded"]["invalidations"]),
         qualitative=True,
-        claim_holds=results["padded"].coherence.invalidations == 0,
+        claim_holds=results["padded"]["invalidations"] == 0,
     ))
     report.raw["results"] = results
     return report
+
+
+SPEC = ExperimentSpec(
+    "ext-falsesharing", run, stages=(Stage("sim-program", declare_units),)
+)

@@ -13,8 +13,9 @@ from __future__ import annotations
 from repro.core.params import AppParams
 from repro.experiments.report import ExperimentReport, PaperComparison
 from repro.util.tables import TextTable
+from repro.pipeline import ExperimentSpec
 
-__all__ = ["run_fig1", "run_fig6"]
+__all__ = ["run_fig1", "run_fig6", "SPECS"]
 
 
 def _default_params() -> AppParams:
@@ -76,3 +77,9 @@ def run_fig6(params: "AppParams | None" = None) -> ExperimentReport:
     ))
     report.raw["params"] = p
     return report
+
+
+SPECS = (
+    ExperimentSpec("fig1", run_fig1),
+    ExperimentSpec("fig6", run_fig6),
+)

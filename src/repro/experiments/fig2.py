@@ -18,28 +18,52 @@ from repro.core import measured as measured_model
 from repro.core.accuracy import evaluate_accuracy
 from repro.experiments.report import ExperimentReport, PaperComparison, series_table
 from repro.experiments.simsweep import default_workloads, simulate_breakdowns, sweep_units
-from repro.hardware.executor import execute_workload
+from repro.pipeline import (
+    ExperimentSpec,
+    Stage,
+    breakdown_from_payload,
+    hardware_units,
+    resolve_units,
+)
 from repro.workloads.instrument import (
     extract_parameters,
     serial_growth_curve,
     speedup_curve,
 )
 
-__all__ = ["run", "declare_units"]
+__all__ = ["run", "declare_units", "declare_sim_units", "declare_hardware_units", "SPEC"]
 
 
-def declare_units(
+def declare_sim_units(
     scale: float = 0.15,
     thread_counts: tuple = (1, 2, 4, 8, 16),
     mem_scale: int = 2,
 ) -> list:
     """Fig 2's simulator sweep as engine work units — identical to
-    Table II's, which is exactly why the engine's global dedup pays off;
-    the panel-(c) hardware runs are not simulator work and stay serial."""
+    Table II's, which is exactly why the engine's global dedup pays off."""
     units = []
     for workload in default_workloads(scale).values():
         units.extend(sweep_units(workload, thread_counts, mem_scale=mem_scale))
     return units
+
+
+def declare_hardware_units(
+    scale: float = 0.15,
+    hw_thread_counts: tuple = (1, 2, 4, 8),
+    hardware_backend: str = "model",
+) -> list:
+    """Panel (c)'s hardware executions as engine work units (the
+    ``process`` backend's wall-clock runs are declared non-cacheable)."""
+    units = []
+    for workload in default_workloads(scale).values():
+        units.extend(hardware_units(workload, hw_thread_counts,
+                                    backend=hardware_backend))
+    return units
+
+
+def declare_units(**options) -> list:
+    """Every unit Fig 2 needs (simulator sweep + hardware runs)."""
+    return SPEC.declare_units(**options)
 
 
 def run(
@@ -98,7 +122,10 @@ def run(
     # ── (c) hardware validation ───────────────────────────────────────────
     hw_growth = {}
     for name, w in workloads.items():
-        hw = execute_workload(w, hw_thread_counts, backend=hardware_backend)
+        units = hardware_units(w, hw_thread_counts, backend=hardware_backend)
+        payloads = resolve_units(units)
+        hw = {p: breakdown_from_payload(payloads[u.key])
+              for p, u in zip(hw_thread_counts, units)}
         hw_growth[name] = serial_growth_curve(hw)
     report.add_table(series_table(
         f"Fig 2(c) — serial section time on hardware ({hardware_backend} backend)",
@@ -143,3 +170,9 @@ def run(
 
     report.raw.update(speedups=speedups, growth=growth, hw_growth=hw_growth)
     return report
+
+
+SPEC = ExperimentSpec("fig2", run, stages=(
+    Stage("sim-sweep", declare_sim_units),
+    Stage("hardware", declare_hardware_units),
+))

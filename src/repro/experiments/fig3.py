@@ -13,8 +13,9 @@ import numpy as np
 from repro.core import measured as mm
 from repro.core.params import TABLE2
 from repro.experiments.report import ExperimentReport, PaperComparison, series_table
+from repro.pipeline import ExperimentSpec
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def run(max_cores: int = 256) -> ExperimentReport:
@@ -61,3 +62,6 @@ def run(max_cores: int = 256) -> ExperimentReport:
         "section as fcred·(1 + fored·(p−1)^alpha) with hop superlinear."
     )
     return report
+
+
+SPEC = ExperimentSpec("fig3", run)

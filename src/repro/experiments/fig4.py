@@ -13,8 +13,9 @@ from repro.core import merging
 from repro.core.growth import LINEAR, LOG
 from repro.core.params import AppParams
 from repro.experiments.report import ExperimentReport, PaperComparison, series_table
+from repro.pipeline import ExperimentSpec
 
-__all__ = ["run", "PANELS"]
+__all__ = ["run", "PANELS", "SPEC"]
 
 #: (panel, fcon_share, fored_share) in the paper's order.
 PANELS = (
@@ -87,3 +88,6 @@ def run(n: int = 256) -> ExperimentReport:
     report.raw["curves"] = curves
     report.raw["sizes"] = sizes
     return report
+
+
+SPEC = ExperimentSpec("fig4", run)

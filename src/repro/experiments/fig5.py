@@ -13,8 +13,9 @@ from repro.core import merging
 from repro.core.classes import TABLE3_CLASSES
 from repro.core.params import AppParams
 from repro.experiments.report import ExperimentReport, PaperComparison, series_table
+from repro.pipeline import ExperimentSpec
 
-__all__ = ["run", "PANEL_ORDER"]
+__all__ = ["run", "PANEL_ORDER", "SPEC"]
 
 #: panels (a)–(h) in the paper's order: (parallelism, constant, reduction)
 PANEL_ORDER = (
@@ -91,3 +92,6 @@ def run(n: int = 256) -> ExperimentReport:
     ))
     report.raw["curves"] = curves
     return report
+
+
+SPEC = ExperimentSpec("fig5", run)

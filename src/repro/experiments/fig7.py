@@ -14,8 +14,9 @@ from repro.core import communication as comm
 from repro.core import hill_marty
 from repro.core.params import AppParams
 from repro.experiments.report import ExperimentReport, PaperComparison, series_table
+from repro.pipeline import ExperimentSpec
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 _R_CHOICES = (1.0, 4.0, 16.0)
 
@@ -87,3 +88,6 @@ def run(n: int = 256) -> ExperimentReport:
     ))
     report.raw.update(symmetric=(sizes, sym), asymmetric_peaks=peaks)
     return report
+
+
+SPEC = ExperimentSpec("fig7", run)

@@ -19,11 +19,11 @@ pattern — and hence for the paper's whole problem setting.
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport, PaperComparison
+from repro.pipeline import ExperimentSpec, Stage, resolve_units, sim_program_unit
 from repro.simx import (
     Compute,
     Load,
     Lock,
-    Machine,
     MachineConfig,
     PhaseBegin,
     PhaseEnd,
@@ -34,7 +34,7 @@ from repro.simx import (
 )
 from repro.util.tables import TextTable
 
-__all__ = ["run"]
+__all__ = ["run", "declare_units", "SPEC"]
 
 _LINE = 64
 _SHARED = 0x3000_0000
@@ -92,6 +92,30 @@ def _privatised_program(
     return TraceProgram("privatised", threads)
 
 
+def declare_units(
+    n_threads: int = 8,
+    updates_per_thread: int = 2000,
+    batch: int = 64,
+    merge_elements: int = 256,
+) -> list:
+    """Both disciplines' simulator runs as engine work units."""
+    cfg = MachineConfig.baseline(n_cores=max(n_threads, 2))
+    return [
+        sim_program_unit(
+            _locked_program,
+            {"n_threads": n_threads, "updates_per_thread": updates_per_thread,
+             "batch": batch},
+            cfg, label="locked",
+        ),
+        sim_program_unit(
+            _privatised_program,
+            {"n_threads": n_threads, "updates_per_thread": updates_per_thread,
+             "merge_elements": merge_elements},
+            cfg, label="privatised",
+        ),
+    ]
+
+
 def run(
     n_threads: int = 8,
     updates_per_thread: int = 2000,
@@ -102,23 +126,21 @@ def run(
     report = ExperimentReport(
         "ext-locked-reduction", "Locked shared accumulation vs privatise-and-merge"
     )
-    machine = Machine(MachineConfig.baseline(n_cores=max(n_threads, 2)))
-    locked = machine.run(_locked_program(n_threads, updates_per_thread, batch))
-    privatised = machine.run(
-        _privatised_program(n_threads, updates_per_thread, merge_elements)
-    )
+    units = declare_units(n_threads, updates_per_thread, batch, merge_elements)
+    payloads = resolve_units(units)
+    locked, privatised = (payloads[u.key] for u in units)
     t = TextTable(
         title=f"{n_threads} threads x {updates_per_thread} updates",
         columns=["discipline", "cycles", "lock waits (cycles)", "merge cycles"],
     )
-    locked_wait = locked.phase_stats.wait_cycles("parallel")
-    t.add_row(["locked shared", locked.total_cycles, locked_wait, 0])
+    locked_wait = locked["parallel_wait_cycles"]
+    t.add_row(["locked shared", locked["total_cycles"], locked_wait, 0])
     t.add_row([
-        "privatised + merge", privatised.total_cycles,
-        0, privatised.phase_cycles("reduction"),
+        "privatised + merge", privatised["total_cycles"],
+        0, privatised["reduction_cycles"],
     ])
     report.add_table(t)
-    speedup = locked.total_cycles / privatised.total_cycles
+    speedup = locked["total_cycles"] / privatised["total_cycles"]
     report.add_comparison(PaperComparison(
         claim="privatised partials + merge beat the locked accumulator",
         paper_value="the MineBench pattern the paper studies",
@@ -130,7 +152,12 @@ def run(
         paper_value="serialised critical sections [Eyerman & Eeckhout]",
         measured_value=f"{locked_wait:,} wait cycles",
         qualitative=True,
-        claim_holds=locked_wait > locked.total_cycles / 4,
+        claim_holds=locked_wait > locked["total_cycles"] / 4,
     ))
     report.raw.update(locked=locked, privatised=privatised)
     return report
+
+
+SPEC = ExperimentSpec(
+    "ext-locked-reduction", run, stages=(Stage("sim-program", declare_units),)
+)

@@ -15,8 +15,9 @@ from repro.core.mix import WorkloadMix, best_symmetric_for_mix, mix_speedup
 from repro.core.params import TABLE2, AppParams
 from repro.experiments.report import ExperimentReport, PaperComparison
 from repro.util.tables import TextTable
+from repro.pipeline import ExperimentSpec
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def _portfolio() -> dict[str, AppParams]:
@@ -85,3 +86,6 @@ def run(n: int = 256) -> ExperimentReport:
     ))
     report.raw.update(per_app=per_app, mix_best=best_mix, rs=rs)
     return report
+
+
+SPEC = ExperimentSpec("ext-mix", run)

@@ -1,5 +1,12 @@
-"""Experiment registry: id → driver, plus option validation, one-line
-descriptions, and the sweep declarations the parallel engine precomputes."""
+"""Experiment registry: id → :class:`~repro.pipeline.ExperimentSpec`.
+
+Every experiment module exports its spec(s) — ``SPEC`` for a single
+experiment, ``SPECS`` for a family — and this module collects them into
+one table.  The classic driver map (``EXPERIMENTS``) and the engine's
+sweep-declaration map (``SWEEP_DECLARATIONS``) are both *derived* from
+the specs, so adding an experiment is one ``ExperimentSpec`` in its own
+module and nothing else.
+"""
 
 from __future__ import annotations
 
@@ -13,10 +20,13 @@ from repro.experiments import locked_reduction, mix_study
 from repro.experiments import fig1_fig6, fig2, fig3, fig4, fig5, fig7
 from repro.experiments import table1, table2, table3, table4
 from repro.experiments.report import ExperimentReport
+from repro.pipeline import ExperimentSpec, accepted_options, filter_kwargs
 
 __all__ = [
+    "SPECS",
     "EXPERIMENTS",
     "SWEEP_DECLARATIONS",
+    "get_spec",
     "get_experiment",
     "run_experiment",
     "validate_options",
@@ -25,68 +35,57 @@ __all__ = [
     "declare_units",
 ]
 
+#: the paper-order module list the registry collects specs from
+_MODULES = (
+    table1, table2, table3, table4,
+    fig1_fig6, fig2, fig3, fig4, fig5, fig7,
+    ablations, extensions, falsesharing, locked_reduction, mix_study,
+    conclusions,
+)
+
+
+def _collect_specs() -> "dict[str, ExperimentSpec]":
+    specs: "dict[str, ExperimentSpec]" = {}
+    for module in _MODULES:
+        found = getattr(module, "SPECS", None)
+        if found is None:
+            found = (module.SPEC,)
+        for spec in found:
+            if spec.experiment_id in specs:  # pragma: no cover - import-time guard
+                raise ValueError(f"duplicate experiment id {spec.experiment_id!r}")
+            specs[spec.experiment_id] = spec
+    return specs
+
+
+SPECS: Mapping[str, ExperimentSpec] = _collect_specs()
+
+#: id → assemble function (the classic driver map, derived from SPECS)
 EXPERIMENTS: Mapping[str, Callable[..., ExperimentReport]] = {
-    "table1": table1.run,
-    "table2": table2.run,
-    "table3": table3.run,
-    "table4": table4.run,
-    "fig1": fig1_fig6.run_fig1,
-    "fig6": fig1_fig6.run_fig6,
-    "fig2": fig2.run,
-    "fig3": fig3.run,
-    "fig4": fig4.run,
-    "fig5": fig5.run,
-    "fig7": fig7.run,
-    "ablations": ablations.run,
-    "ablation-perf": ablations.run_perf_law,
-    "ablation-topology": ablations.run_topology,
-    "ablation-reduction": ablations.run_reduction_strategy,
-    "ablation-rmap": ablations.run_optimal_r_map,
-    "ablation-machine": ablations.run_machine_model,
-    "ext-critical": extensions.run_critical,
-    "ext-energy": extensions.run_energy,
-    "ext-scaled": extensions.run_scaled,
-    "ext-contention": extensions.run_contention,
-    "ext-acmp-sim": extensions.run_acmp_sim,
-    "ext-crossover-sim": extensions.run_crossover_sim,
-    "ext-falsesharing": falsesharing.run,
-    "ext-locked-reduction": locked_reduction.run,
-    "ext-mix": mix_study.run,
-    "conclusions": conclusions.run,
+    eid: spec.assemble for eid, spec in SPECS.items()
 }
 
-#: id → declarer returning the experiment's simulator sweep as engine
+#: id → declarer returning the experiment's expensive work as engine
 #: :class:`~repro.engine.units.WorkUnit`\ s (same defaults and cache keys
-#: as the driver's own ``simulate_breakdowns`` calls).  Experiments
-#: without an entry have nothing worth precomputing — they are either
-#: pure model evaluations or derive everything from another's sweep.
+#: as the driver's own calls).  Derived from SPECS: experiments without
+#: stages have nothing worth precomputing — they are pure model
+#: evaluations or derive everything from another experiment's sweep.
 SWEEP_DECLARATIONS: Mapping[str, Callable[..., list]] = {
-    "table2": table2.declare_units,
-    "fig2": fig2.declare_units,
-    "table4": table4.declare_units,
+    eid: spec.declare_units for eid, spec in SPECS.items() if spec.declares_units
 }
+
+
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """Look up a spec by id; raises with the list of known ids."""
+    if experiment_id not in SPECS:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(sorted(SPECS))}"
+        )
+    return SPECS[experiment_id]
 
 
 def get_experiment(experiment_id: str) -> Callable[..., ExperimentReport]:
     """Look up a driver by id; raises with the list of known ids."""
-    if experiment_id not in EXPERIMENTS:
-        raise ValueError(
-            f"unknown experiment {experiment_id!r}; known: {', '.join(sorted(EXPERIMENTS))}"
-        )
-    return EXPERIMENTS[experiment_id]
-
-
-def _accepted_options(fn: Callable) -> "set[str] | None":
-    """Keyword names ``fn`` accepts, or None when it takes ``**kwargs``."""
-    params = inspect.signature(fn).parameters.values()
-    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
-        return None
-    return {
-        p.name
-        for p in params
-        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
-                      inspect.Parameter.KEYWORD_ONLY)
-    }
+    return get_spec(experiment_id).assemble
 
 
 def validate_options(experiment_id: str, options: Mapping[str, object]) -> None:
@@ -98,7 +97,7 @@ def validate_options(experiment_id: str, options: Mapping[str, object]) -> None:
     driver's signature up front and names the offender and the accepted
     set instead.
     """
-    accepted = _accepted_options(get_experiment(experiment_id))
+    accepted = accepted_options(get_experiment(experiment_id))
     if accepted is None:
         return
     unknown = sorted(set(options) - accepted)
@@ -119,10 +118,7 @@ def filter_options(experiment_id: str,
     --scale 0.1``, resume manifests): each driver receives only the
     knobs it understands.  Drivers taking ``**kwargs`` accept all.
     """
-    accepted = _accepted_options(get_experiment(experiment_id))
-    if accepted is None:
-        return dict(options)
-    return {k: v for k, v in options.items() if k in accepted}
+    return filter_kwargs(get_experiment(experiment_id), options)
 
 
 _EXPERIMENT_SECONDS = obs.histogram(
@@ -133,13 +129,13 @@ _EXPERIMENT_SECONDS = obs.histogram(
 
 def run_experiment(experiment_id: str, **options) -> ExperimentReport:
     """Run one experiment by id (options validated against the driver)."""
-    driver = get_experiment(experiment_id)
+    spec = get_spec(experiment_id)
     validate_options(experiment_id, options)
     if not obs.enabled():
-        return driver(**options)
+        return spec.run(**options)
     t0 = time.perf_counter()
     with obs.span("experiment.run", experiment=experiment_id):
-        report = driver(**options)
+        report = spec.run(**options)
     _EXPERIMENT_SECONDS.observe(time.perf_counter() - t0, experiment=experiment_id)
     return report
 
@@ -151,17 +147,11 @@ def describe_experiment(experiment_id: str) -> str:
 
 
 def declare_units(experiment_id: str, **options) -> list:
-    """The experiment's declared sweep as work units (``[]`` if none).
+    """The experiment's declared work as units (``[]`` if none).
 
-    Options the declarer does not understand are dropped rather than
+    Options a stage does not understand are dropped rather than
     rejected: callers pass one option set for a whole batch of
-    experiments (e.g. ``repro runall --scale 0.1``) and each declarer
+    experiments (e.g. ``repro runall --scale 0.1``) and each stage
     picks out what applies to it.
     """
-    declarer = SWEEP_DECLARATIONS.get(experiment_id)
-    if declarer is None:
-        return []
-    accepted = _accepted_options(declarer)
-    if accepted is not None:
-        options = {k: v for k, v in options.items() if k in accepted}
-    return declarer(**options)
+    return get_spec(experiment_id).declare_units(**options)

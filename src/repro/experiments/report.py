@@ -16,6 +16,12 @@ class PaperComparison:
 
     ``matches`` applies ``tolerance`` as a relative bound when both values
     are numeric; qualitative claims use ``claim_holds`` directly.
+
+    Construction validates the combination up front: a qualitative claim
+    must carry its ``claim_holds`` verdict, and a quantitative one must
+    carry values ``float()`` accepts — otherwise ``matches`` would fail
+    (or silently report False) only when the scoreboard renders, far from
+    the driver bug that produced it.
     """
 
     claim: str
@@ -24,6 +30,24 @@ class PaperComparison:
     tolerance: float = 0.05
     qualitative: bool = False
     claim_holds: "bool | None" = None
+
+    def __post_init__(self) -> None:
+        if self.qualitative:
+            if self.claim_holds is None:
+                raise ValueError(
+                    f"qualitative comparison {self.claim!r} needs claim_holds"
+                )
+            return
+        for name, value in (("paper_value", self.paper_value),
+                            ("measured_value", self.measured_value)):
+            try:
+                float(value)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"quantitative comparison {self.claim!r} has non-numeric "
+                    f"{name} {value!r}; pass qualitative=True with "
+                    "claim_holds, or a numeric value"
+                ) from None
 
     def matches(self) -> bool:
         if self.qualitative:

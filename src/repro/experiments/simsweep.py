@@ -40,10 +40,14 @@ sweep is byte-identical to a serial one.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 from dataclasses import asdict
 from pathlib import Path
 from typing import Iterable, Mapping
+
+import numpy as np
 
 from repro import obs
 from repro.engine.executors import SWEEP_POINT
@@ -70,6 +74,7 @@ __all__ = [
     "sweep_units",
     "execute_sweep_point",
     "precompute_units",
+    "workload_descriptor",
 ]
 
 #: paper dataset attributes (kmeans/fuzzy: N, D, C; hop: particles)
@@ -172,6 +177,9 @@ def clear_cache(memory_only: bool = False) -> None:
     _cache.clear()
     for k in _stats:
         _stats[k] = 0
+    from repro.pipeline import runtime as _pipeline_runtime
+
+    _pipeline_runtime.clear_memo()
     if not memory_only:
         disk = _get_disk()
         if disk is not None:
@@ -229,40 +237,66 @@ def default_workloads(
     }
 
 
-def _workload_fields(workload: ClusteringWorkloadBase) -> tuple:
+def _dataset_descriptor(ds) -> dict:
+    """Full identity of a dataset: label, shape, and a content digest.
+
+    The digest covers the actual array bytes, so two datasets that differ
+    only in their generator seed (same label, same shape) still key
+    differently — without it, Table IV's dim/center/base variants (equal
+    N, equal name) would silently share one cache entry.
+    """
+    digest = hashlib.sha256()
+    shape: dict = {}
+    for field in ("points", "positions", "masses"):
+        arr = getattr(ds, field, None)
+        if arr is not None:
+            digest.update(np.ascontiguousarray(arr).tobytes())
+            shape[field] = list(np.asarray(arr).shape)
+    for field in ("n_centers", "n_groups_hint"):
+        v = getattr(ds, field, None)
+        if v is not None:
+            shape[field] = int(v)
+    return {
+        "label": getattr(ds, "label", ""),
+        "shape": shape,
+        "digest": digest.hexdigest(),
+    }
+
+
+#: workload knobs that change simulation results and so belong in the key
+_WORKLOAD_KNOBS = (
+    "n_items", "n_bins", "seed", "max_iterations", "tolerance",
+    "n_neighbors", "reduction_strategy",
+)
+
+
+def workload_descriptor(workload: ClusteringWorkloadBase) -> dict:
+    """Everything that identifies a workload for caching purposes: its
+    name, its algorithmic knobs, and the exact dataset content."""
+    desc: dict = {"name": workload.name}
     ds = getattr(workload, "dataset", None)
     if ds is not None:
-        size = getattr(ds, "n_points", getattr(ds, "n_particles", 0))
-    else:
-        size = getattr(workload, "n_items", 0)
-    return (
-        workload.name,
-        size,
-        getattr(workload, "n_bins", 0),
-        getattr(workload, "max_iterations", 1),
-        getattr(workload, "reduction_strategy", "serial"),
-    )
+        desc["dataset"] = _dataset_descriptor(ds)
+    for knob in _WORKLOAD_KNOBS:
+        v = getattr(workload, knob, None)
+        if v is not None:
+            desc[knob] = v
+    return desc
 
 
 def _key(
     workload: ClusteringWorkloadBase, p: int, mem_scale: int, config: MachineConfig
 ) -> tuple:
-    return (*_workload_fields(workload), p, mem_scale, config)
+    wdesc = json.dumps(workload_descriptor(workload), sort_keys=True)
+    return (wdesc, p, mem_scale, config)
 
 
 def _disk_description(
     workload: ClusteringWorkloadBase, p: int, mem_scale: int, config: MachineConfig
 ) -> dict:
-    name, size, n_bins, max_iter, reduction = _workload_fields(workload)
     return {
         "sim_version": _SIM_VERSION,
-        "workload": {
-            "name": name,
-            "size": size,
-            "n_bins": n_bins,
-            "max_iterations": max_iter,
-            "reduction_strategy": reduction,
-        },
+        "workload": workload_descriptor(workload),
         "threads": p,
         "mem_scale": mem_scale,
         "machine": asdict(config),

@@ -43,6 +43,23 @@ _STORE_WRITES = obs.counter("sweep_store_writes_total",
                             "disk sweep-store writes", labels=("result",))
 
 
+def _plain(value):
+    """Collapse numpy scalars to the Python scalar they render as.
+
+    Table cells and comparison values may arrive as ``np.float64`` /
+    ``np.int64``; ``json.dumps(default=str)`` would stringify those, so a
+    loaded report would render ``"5.0"`` where the original rendered
+    ``5.0``.  Both str() identically, so the collapse keeps round-trips
+    (serialise → deserialise → render) byte-exact.
+    """
+    if hasattr(value, "item") and not isinstance(value, (str, bytes, bool, int, float)):
+        try:
+            return value.item()
+        except (AttributeError, TypeError, ValueError):
+            return value
+    return value
+
+
 def report_to_dict(report: ExperimentReport) -> dict:
     """Serialise a report to plain JSON-compatible data."""
     return {
@@ -50,17 +67,21 @@ def report_to_dict(report: ExperimentReport) -> dict:
         "experiment_id": report.experiment_id,
         "title": report.title,
         "tables": [
-            {"title": t.title, "columns": list(t.columns), "rows": t.rows}
+            {
+                "title": t.title,
+                "columns": list(t.columns),
+                "rows": [[_plain(c) for c in row] for row in t.rows],
+            }
             for t in report.tables
         ],
         "comparisons": [
             {
                 "claim": c.claim,
-                "paper_value": c.paper_value,
-                "measured_value": c.measured_value,
-                "tolerance": c.tolerance,
-                "qualitative": c.qualitative,
-                "claim_holds": c.claim_holds,
+                "paper_value": _plain(c.paper_value),
+                "measured_value": _plain(c.measured_value),
+                "tolerance": _plain(c.tolerance),
+                "qualitative": bool(c.qualitative),
+                "claim_holds": None if c.claim_holds is None else bool(c.claim_holds),
                 "matches": c.matches(),
             }
             for c in report.comparisons

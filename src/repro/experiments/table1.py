@@ -5,8 +5,9 @@ from __future__ import annotations
 from repro.experiments.report import ExperimentReport
 from repro.simx.config import MachineConfig
 from repro.util.tables import TextTable
+from repro.pipeline import ExperimentSpec
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def run(n_cores: int = 16) -> ExperimentReport:
@@ -36,3 +37,6 @@ def run(n_cores: int = 16) -> ExperimentReport:
     report.add_table(t)
     report.raw["config"] = cfg
     return report
+
+
+SPEC = ExperimentSpec("table1", run)

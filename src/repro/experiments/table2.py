@@ -14,10 +14,11 @@ from __future__ import annotations
 from repro.core.params import TABLE2
 from repro.experiments.report import ExperimentReport, PaperComparison
 from repro.experiments.simsweep import default_workloads, simulate_breakdowns, sweep_units
+from repro.pipeline import ExperimentSpec, Stage
 from repro.util.tables import TextTable
 from repro.workloads.instrument import extract_parameters
 
-__all__ = ["run", "declare_units"]
+__all__ = ["run", "declare_units", "SPEC"]
 
 
 def declare_units(
@@ -106,3 +107,6 @@ def run(
     )
     report.raw["extracted"] = extracted
     return report
+
+
+SPEC = ExperimentSpec("table2", run, stages=(Stage("sim-sweep", declare_units),))

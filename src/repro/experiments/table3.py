@@ -5,8 +5,9 @@ from __future__ import annotations
 from repro.core.classes import TABLE3_CLASSES
 from repro.experiments.report import ExperimentReport
 from repro.util.tables import TextTable
+from repro.pipeline import ExperimentSpec
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
 
 
 def run() -> ExperimentReport:
@@ -26,3 +27,6 @@ def run() -> ExperimentReport:
     report.add_table(t)
     report.raw["classes"] = TABLE3_CLASSES
     return report
+
+
+SPEC = ExperimentSpec("table3", run)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport, PaperComparison
 from repro.experiments.simsweep import simulate_breakdowns, sweep_units
+from repro.pipeline import ExperimentSpec, Stage
 from repro.util.tables import TextTable
 from repro.workloads.datasets import make_blobs, make_particles
 from repro.workloads.fuzzy import FuzzyCMeansWorkload
@@ -18,7 +19,7 @@ from repro.workloads.hop import HopWorkload
 from repro.workloads.instrument import extract_parameters
 from repro.workloads.kmeans import KMeansWorkload
 
-__all__ = ["run", "declare_units"]
+__all__ = ["run", "declare_units", "SPEC"]
 
 
 def declare_units(
@@ -141,3 +142,6 @@ def run(
     )
     report.raw["extracted"] = extracted
     return report
+
+
+SPEC = ExperimentSpec("table4", run, stages=(Stage("sim-sweep", declare_units),))

@@ -1,0 +1,118 @@
+"""Unit resolution: the one execution substrate every experiment shares.
+
+:func:`resolve_units` turns declared work units into payloads through the
+same tier order everywhere:
+
+1. the in-process memo (sweep points use :mod:`~repro.experiments
+   .simsweep`'s own memo so its hit counters and ``cache_info`` stay
+   authoritative; other kinds share a generic memo here);
+2. the on-disk :class:`~repro.experiments.store.SweepStore` — for
+   disk-cacheable kinds only (``WorkUnit.cacheable``);
+3. the ambient engine session, when one is installed — misses run on
+   the worker pool, journaled write-ahead, and parallel resolution stays
+   byte-identical to serial because callers rebuild outputs in their own
+   iteration order;
+4. inline execution in this process, when no session is installed.
+
+:func:`cache_get` / :func:`cache_put` are the scheduler hooks
+:func:`repro.engine.precompute` uses to warm every tier for *any* unit
+kind — the piece that makes ``runall``'s single cross-experiment
+precompute pass possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.engine import units as engine_units
+from repro.engine.executors import SWEEP_POINT
+from repro.engine.units import WorkUnit
+
+__all__ = ["resolve_units", "cache_get", "cache_put", "clear_memo", "memo_info"]
+
+#: unit.key -> payload, for every kind except sweep points (which live in
+#: simsweep's richer memo keyed by workload identity)
+_memo: "dict[str, dict]" = {}
+_stats = {"memory_hits": 0, "disk_hits": 0, "misses": 0, "executed": 0}
+
+
+def _disk():
+    from repro.experiments import simsweep
+
+    return simsweep.get_disk_store()
+
+
+def cache_get(unit: WorkUnit) -> "dict | None":
+    """Scheduler hook: look one unit up in the memo and (if cacheable)
+    the disk store."""
+    if unit.kind == SWEEP_POINT:
+        from repro.experiments import simsweep
+
+        return simsweep._unit_cache_get(unit)
+    hit = _memo.get(unit.key)
+    if hit is not None:
+        _stats["memory_hits"] += 1
+        return hit
+    if unit.cacheable:
+        disk = _disk()
+        if disk is not None:
+            payload = disk.get(unit.key)
+            if payload is not None:
+                _stats["disk_hits"] += 1
+                _memo[unit.key] = payload
+                return payload
+    _stats["misses"] += 1
+    return None
+
+
+def cache_put(unit: WorkUnit, payload: dict) -> None:
+    """Scheduler hook: write a fresh result into every applicable tier."""
+    if unit.kind == SWEEP_POINT:
+        from repro.experiments import simsweep
+
+        return simsweep._unit_cache_put(unit, payload)
+    _memo[unit.key] = payload
+    if unit.cacheable:
+        disk = _disk()
+        if disk is not None:
+            disk.put(unit.key, payload)
+
+
+def resolve_units(units: Iterable[WorkUnit]) -> "dict[str, dict]":
+    """Resolve units to ``{key: payload}`` (cache -> engine -> inline).
+
+    With an ambient engine session installed (``repro.engine.session``,
+    the CLI's ``--parallel``/``--run-id``), misses execute across the
+    session's pool and settle through its journal; otherwise they run
+    inline, hitting the same caches — results are identical either way.
+    """
+    units = list(units)
+    from repro.experiments import simsweep
+
+    sess = simsweep.get_engine()
+    if sess is not None:
+        return sess.run_units(units, cache_get=cache_get, cache_put=cache_put)
+    out: "dict[str, dict]" = {}
+    for unit in units:
+        if unit.key in out:
+            continue
+        payload = cache_get(unit)
+        if payload is None:
+            payload = engine_units.execute(unit.kind, unit.spec)
+            _stats["executed"] += 1
+            cache_put(unit, payload)
+        out[unit.key] = payload
+    return out
+
+
+def clear_memo() -> None:
+    """Drop the generic memo and its counters (test isolation; sweep
+    points are covered by ``simsweep.clear_cache``, which calls this)."""
+    _memo.clear()
+    for k in _stats:
+        _stats[k] = 0
+
+
+def memo_info() -> dict:
+    """Counters and size of the generic (non-sweep) memo tier."""
+    return {**_stats, "memory_entries": len(_memo)}

@@ -124,11 +124,15 @@ class TestPrecompute:
             with engine.session(1) as sess:
                 declared = engine.precompute(
                     sess, ["table2", "fig2", "fig4"],
-                    {"scale": 0.03, "thread_counts": (1, 2)},
+                    {"scale": 0.03, "thread_counts": (1, 2),
+                     "hw_thread_counts": (1, 2)},
                 )
-            assert declared == 12  # 2 experiments x 3 workloads x 2 points
+            # sweep: 2 experiments x 3 workloads x 2 points, shared
+            # between table2 and fig2; hardware: fig2's own stage,
+            # 3 workloads x 2 points
+            assert declared == 18
             assert sess.stats["deduped"] == 6
-            assert sess.stats["executed"] == 6
+            assert sess.stats["executed"] == 12
         finally:
             simsweep.set_disk_store(restore)
             simsweep.clear_cache(memory_only=True)

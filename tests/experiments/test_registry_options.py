@@ -55,7 +55,29 @@ class TestDeclarations:
         assert all(u.kind == "sweep-point" for u in units)
 
     def test_declarers_drop_options_they_do_not_understand(self):
+        # fig2 declares two stages: the sim sweep (3 workloads x 2 thread
+        # counts) plus hardware-model runs at the default hw_thread_counts
+        # (3 workloads x 4); `thread_counts` means nothing to the hardware
+        # stage and is dropped there rather than rejected.
         units = declare_units(
             "fig2", scale=0.03, thread_counts=(1, 2), hardware_backend="model"
         )
-        assert len(units) == 6
+        assert len(units) == 18
+        assert sum(u.kind == "sweep-point" for u in units) == 6
+        assert sum(u.kind == "hardware-model" for u in units) == 12
+
+    def test_hardware_stage_follows_its_own_thread_counts(self):
+        units = declare_units(
+            "fig2", scale=0.03, thread_counts=(1, 2), hw_thread_counts=(1, 2)
+        )
+        assert sum(u.kind == "hardware-model" for u in units) == 6
+
+    def test_process_backend_units_are_not_cacheable(self):
+        units = declare_units(
+            "fig2", scale=0.03, thread_counts=(1, 2),
+            hw_thread_counts=(1, 2), hardware_backend="process",
+        )
+        hw = [u for u in units if u.kind == "hardware-process"]
+        assert len(hw) == 6
+        assert all(not u.cacheable for u in hw)
+        assert all(u.cacheable for u in units if u.kind == "sweep-point")
