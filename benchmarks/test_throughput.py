@@ -49,6 +49,38 @@ def test_simulator_op_throughput(benchmark):
     assert result.total_cycles > 0
 
 
+def test_conclusions_grid_vectorized(benchmark):
+    """The conclusions experiment's 48-point design-space sweep as one
+    vectorized ``gridkernels.conclusions_grid`` call (acceptance bar:
+    >= 5x over the scalar loop below)."""
+    from repro.core import gridkernels
+    from repro.experiments import conclusions
+
+    pts = [(p.f, p.fcon_share, p.fored_share) for p in conclusions._grid()]
+    f = np.array([p[0] for p in pts])
+    c = np.array([p[1] for p in pts])
+    o = np.array([p[2] for p in pts])
+    benchmark.extra_info["n_points"] = len(pts)
+
+    out = benchmark(gridkernels.conclusions_grid, f, c, o, 256)
+    assert all(v.shape == (len(pts),) for v in out.values())
+
+
+def test_conclusions_grid_scalar(benchmark):
+    """The same 48 points through the per-point scalar optimisers — the
+    baseline the vectorized kernel is measured against."""
+    from repro.experiments import conclusions
+
+    pts = [(p.f, p.fcon_share, p.fored_share) for p in conclusions._grid()]
+    benchmark.extra_info["n_points"] = len(pts)
+
+    def sweep():
+        return [conclusions.evaluate_point(f, c, o, 256) for f, c, o in pts]
+
+    rows = benchmark(sweep)
+    assert len(rows) == len(pts)
+
+
 def test_asymmetric_sweep_throughput(benchmark):
     """A full Fig-5 panel (3 r-curves over the rl grid)."""
     params = AppParams(f=0.99, fcon_share=0.9, fored_share=0.8)

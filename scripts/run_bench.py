@@ -14,13 +14,17 @@ Usage::
 
     python scripts/run_bench.py [--output BENCH_simx.json] [--quick]
         [--check-against BASELINE] [--metrics-out METRICS.jsonl]
+        [--fuzz-iters N]
 
 ``--quick`` trims benchmark rounds for a fast smoke run.
 ``--check-against`` is the CI regression gate: exit non-zero if any
 benchmark with a known op count lost more than 25% ops/sec against the
 committed baseline JSON.  ``--metrics-out`` additionally runs a small
 instrumented sweep and writes its ``repro.obs`` metrics + spans as
-JSONL (readable with ``repro stats``), uploaded as a CI artifact.
+JSONL (readable with ``repro stats``).  ``--fuzz-iters N`` first runs N
+seeded random trace programs (``tests.differential.gen``) through all
+three simulator engines and asserts cycle-identity — a fast
+correctness screen before trusting the perf numbers.
 """
 
 from __future__ import annotations
@@ -77,12 +81,48 @@ def summarise(bench_json: dict) -> dict:
     return rows
 
 
-def _ratio(rows: dict, stem: str) -> "float | None":
-    fast = rows.get(f"{stem}[fast]")
+def _ratio(rows: dict, stem: str, engine: str = "fast") -> "float | None":
+    new = rows.get(f"{stem}[{engine}]")
     ref = rows.get(f"{stem}[reference]")
-    if not (fast and ref and "ops_per_sec" in fast and "ops_per_sec" in ref):
+    if not (new and ref and "ops_per_sec" in new and "ops_per_sec" in ref):
         return None
-    return fast["ops_per_sec"] / ref["ops_per_sec"]
+    return new["ops_per_sec"] / ref["ops_per_sec"]
+
+
+def _grid_speedup(rows: dict) -> "float | None":
+    """Vectorized vs scalar wall time on the 48-point conclusions grid."""
+    grid = rows.get("test_conclusions_grid_vectorized", {}).get("min_seconds")
+    scalar = rows.get("test_conclusions_grid_scalar", {}).get("min_seconds")
+    if not (grid and scalar):
+        return None
+    return scalar / grid
+
+
+def run_fuzz(iters: int) -> dict:
+    """N generated trace programs through all three engines, asserting
+    cycle-identity (the differential harness's seed corpus, re-usable as
+    a pre-benchmark correctness screen)."""
+    sys.path.insert(0, str(REPO))
+    from tests.differential.gen import MIXES, generate_program
+    from tests.differential.test_engine_identity import _CONFIG_RING, run_three
+    from tests.simx.test_fastpath_differential import assert_identical
+
+    t0 = time.perf_counter()
+    for seed in range(iters):
+        mix = MIXES[seed % len(MIXES)]
+        config_name, cfg = _CONFIG_RING[seed % len(_CONFIG_RING)]
+        program = generate_program(seed, mix)
+        ref, fast, bat = run_three(cfg, program)
+        why = f"fuzz seed={seed} mix={mix} config={config_name}"
+        assert ref.n_ops == fast.n_ops == bat.n_ops, why
+        assert_identical(fast, ref)
+        assert_identical(bat, ref)
+    dt = time.perf_counter() - t0
+    return {
+        "iters": iters,
+        "seconds": round(dt, 3),
+        "programs_per_sec": round(iters / dt, 1) if dt else None,
+    }
 
 
 def obs_overhead(rows: dict) -> dict:
@@ -217,9 +257,18 @@ def main(argv: "list[str] | None" = None) -> int:
                     help="fail on >25%% ops/sec regression vs this BENCH json")
     ap.add_argument("--metrics-out", metavar="FILE",
                     help="write repro.obs metrics JSONL from an instrumented sweep")
+    ap.add_argument("--fuzz-iters", type=int, metavar="N", default=0,
+                    help="run N differential fuzz programs through all three "
+                         "engines before benchmarking")
     args = ap.parse_args(argv)
 
     sys.path.insert(0, str(SRC))
+
+    fuzz = None
+    if args.fuzz_iters:
+        fuzz = run_fuzz(args.fuzz_iters)
+        print(f"differential fuzz: {fuzz['iters']} programs cycle-identical "
+              f"across 3 engines ({fuzz['programs_per_sec']} programs/s)")
 
     baseline = None
     if args.check_against:
@@ -241,11 +290,20 @@ def main(argv: "list[str] | None" = None) -> int:
             "private_burst_speedup": _ratio(rows, "test_private_burst"),
             "shared_heavy_ratio": _ratio(rows, "test_shared_heavy"),
             "kmeans_mix_speedup": _ratio(rows, "test_kmeans_mix"),
+            "private_burst_batch_speedup": _ratio(rows, "test_private_burst",
+                                                  "batch"),
+            "shared_heavy_batch_ratio": _ratio(rows, "test_shared_heavy",
+                                               "batch"),
+            "kmeans_mix_batch_speedup": _ratio(rows, "test_kmeans_mix",
+                                               "batch"),
         },
+        "model_grid_speedup": _grid_speedup(rows),
         "obs": obs_overhead(rows),
         "sweep_cache": time_sweep_cache(),
         "runall_precompute": time_runall_precompute(),
     }
+    if fuzz is not None:
+        report["differential_fuzz"] = fuzz
     out = Path(args.output)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
@@ -256,7 +314,10 @@ def main(argv: "list[str] | None" = None) -> int:
     fp = report["fastpath"]
     print(f"\nwrote {out}")
     for k, v in fp.items():
-        print(f"  {k:24} {v:.2f}x" if v else f"  {k:24} n/a")
+        print(f"  {k:28} {v:.2f}x" if v else f"  {k:28} n/a")
+    mg = report["model_grid_speedup"]
+    print(f"  model_grid_speedup           {mg:.1f}x" if mg
+          else "  model_grid_speedup           n/a")
     for k, v in report["obs"].items():
         print(f"  obs {k:20} {v:.3f}x")
     sc = report["sweep_cache"]
@@ -273,6 +334,15 @@ def main(argv: "list[str] | None" = None) -> int:
         ok = False
     if fp["shared_heavy_ratio"] and fp["shared_heavy_ratio"] < 0.9:
         print("FAIL: fast path regresses the shared-heavy benchmark")
+        ok = False
+    if fp["kmeans_mix_batch_speedup"] and fp["kmeans_mix_batch_speedup"] < 2.0:
+        print("FAIL: batch engine below the 2x kmeans-mix acceptance bar")
+        ok = False
+    if fp["shared_heavy_batch_ratio"] and fp["shared_heavy_batch_ratio"] < 0.9:
+        print("FAIL: batch engine regresses the shared-heavy benchmark")
+        ok = False
+    if mg and mg < 5.0:
+        print("FAIL: vectorized model grid below the 5x acceptance bar")
         ok = False
     if baseline is not None:
         failures = check_regressions(rows, baseline)

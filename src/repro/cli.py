@@ -195,6 +195,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="force the op-at-a-time reference engine "
                             "(the fused fast path is cycle-identical; "
                             "this exists for cross-checking and timing)")
+    sim_p.add_argument("--batch-path", action="store_true",
+                       help="opt into the lockstep batch engine "
+                            "(cycle-identical; fastest on private-heavy "
+                            "traces; falls back where unsupported)")
     return parser
 
 
@@ -563,6 +567,7 @@ def main(argv: "list[str] | None" = None) -> int:
             dram=args.dram,
             coherence_protocol=args.protocol,
             fast_path=not args.no_fast_path,
+            batch_path=args.batch_path,
         )
         result = Machine(config).run(load_program(args.trace))
         print(result.summary())

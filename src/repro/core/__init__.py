@@ -18,6 +18,7 @@ from repro.core import (
     critical,
     energy,
     fitting,
+    gridkernels,
     growth,
     hill_marty,
     measured,
@@ -46,6 +47,7 @@ __all__ = [
     "critical",
     "energy",
     "fitting",
+    "gridkernels",
     "growth",
     "hill_marty",
     "measured",

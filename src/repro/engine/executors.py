@@ -18,6 +18,7 @@ __all__ = [
     "HARDWARE_MODEL",
     "HARDWARE_PROCESS",
     "MODEL_EVAL",
+    "MODEL_EVAL_GRID",
 ]
 
 #: one simulator run: (workload, n_threads, mem_scale, machine-config)
@@ -30,6 +31,8 @@ HARDWARE_MODEL = "hardware-model"
 HARDWARE_PROCESS = "hardware-process"
 #: one model-layer evaluation: (function-ref, kwargs)
 MODEL_EVAL = "model-eval"
+#: one vectorized model evaluation over a whole grid: (function-ref, kwargs)
+MODEL_EVAL_GRID = "model-eval-grid"
 
 
 def _run_sweep_point(spec: tuple) -> dict:
@@ -63,8 +66,15 @@ def _run_model_eval(spec: tuple) -> dict:
     return builders.execute_model_eval(spec)
 
 
+def _run_model_eval_grid(spec: tuple) -> dict:
+    from repro.pipeline import builders
+
+    return builders.execute_model_eval_grid(spec)
+
+
 register_executor(SWEEP_POINT, _run_sweep_point)
 register_executor(SIM_PROGRAM, _run_sim_program)
 register_executor(HARDWARE_MODEL, _run_hardware_model)
 register_executor(HARDWARE_PROCESS, _run_hardware_process)
 register_executor(MODEL_EVAL, _run_model_eval)
+register_executor(MODEL_EVAL_GRID, _run_model_eval_grid)

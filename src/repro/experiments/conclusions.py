@@ -18,13 +18,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import hill_marty, merging, optimizer
+from repro.core import gridkernels, hill_marty, merging, optimizer
 from repro.core.params import AppParams
 from repro.experiments.report import ExperimentReport, PaperComparison
-from repro.pipeline import ExperimentSpec, Stage, model_eval_unit, resolve_units
+from repro.pipeline import ExperimentSpec, Stage, model_eval_grid_unit, resolve_units
 from repro.util.tables import TextTable
 
-__all__ = ["run", "declare_units", "evaluate_point", "SPEC"]
+__all__ = ["run", "declare_units", "evaluate_point", "evaluate_grid", "SPEC"]
 
 
 def _grid():
@@ -51,16 +51,36 @@ def evaluate_point(f: float, fcon_share: float, fored_share: float, n: int) -> d
     }
 
 
+def evaluate_grid(f: list, fcon_share: list, fored_share: list, n: int) -> dict:
+    """All grid points' conclusion metrics in one vectorized call.
+
+    Takes parallel per-point parameter lists and returns the same metric
+    names as :func:`evaluate_point`, each as a parallel list.  Values are
+    bit-identical to the per-point path (the :mod:`repro.core.gridkernels`
+    contract), so reports assembled from either are byte-equal.
+    """
+    import numpy as np
+
+    return gridkernels.conclusions_grid(
+        np.asarray(f, dtype=np.float64),
+        np.asarray(fcon_share, dtype=np.float64),
+        np.asarray(fored_share, dtype=np.float64),
+        n,
+    )
+
+
 def declare_units(n: int = 256) -> list:
-    """One model-eval unit per grid point."""
+    """One model-eval-grid unit for the whole 48-point sweep."""
+    points = list(_grid())
     return [
-        model_eval_unit(
-            evaluate_point,
-            {"f": p.f, "fcon_share": p.fcon_share, "fored_share": p.fored_share,
+        model_eval_grid_unit(
+            evaluate_grid,
+            {"f": [p.f for p in points],
+             "fcon_share": [p.fcon_share for p in points],
+             "fored_share": [p.fored_share for p in points],
              "n": n},
-            label=f"conclusions@f={p.f},con={p.fcon_share},ored={p.fored_share}",
+            label=f"conclusions-grid@{len(points)}pts,n={n}",
         )
-        for p in _grid()
     ]
 
 
@@ -74,10 +94,10 @@ def run(n: int = 256) -> ExperimentReport:
     advantage_ratios = []
     rows = []
     points = list(_grid())
-    units = declare_units(n)
-    payloads = resolve_units(units)
-    for p, unit in zip(points, units):
-        m = payloads[unit.key]
+    [unit] = declare_units(n)
+    grid = resolve_units([unit])[unit.key]
+    for i, p in enumerate(points):
+        m = {k: grid[k][i] for k in grid}
         if m["hm_speedup"] > m["ours_speedup"] + 1e-9:
             overestimates += 1
         if m["ours_r"] < m["hm_r"]:

@@ -9,13 +9,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import merging
+from repro.core import gridkernels, merging
 from repro.core.growth import LINEAR, LOG
-from repro.core.params import AppParams
 from repro.experiments.report import ExperimentReport, PaperComparison, series_table
-from repro.pipeline import ExperimentSpec
+from repro.pipeline import ExperimentSpec, Stage, model_eval_grid_unit, resolve_units
 
-__all__ = ["run", "PANELS", "SPEC"]
+__all__ = ["run", "declare_units", "evaluate_curves", "PANELS", "SPEC"]
 
 #: (panel, fcon_share, fored_share) in the paper's order.
 PANELS = (
@@ -33,19 +32,45 @@ _ANCHORS = (
     ("b", 0.99, "Linear", 47.6, 16.0),
 )
 
+_F_VALUES = (0.999, 0.99)
+_GROWTHS = ((LINEAR, "Linear"), (LOG, "Log"))
+
+
+def evaluate_curves(n: int) -> dict:
+    """All sixteen Fig 4 curves in one vectorized grid evaluation per
+    growth law (panels x f broadcast against the size axis)."""
+    sizes = merging.power_of_two_sizes(n)
+    con = np.asarray([c for _, c, _ in PANELS])[:, None, None]
+    ored = np.asarray([o for _, _, o in PANELS])[:, None, None]
+    f = np.asarray(_F_VALUES)[None, :, None]
+    curves = {}
+    for growth, glabel in _GROWTHS:
+        sp = gridkernels.merging_symmetric(f, con, ored, n, sizes, growth)
+        for i, (panel, _, _) in enumerate(PANELS):
+            for j, fv in enumerate(_F_VALUES):
+                curves[f"{panel}|{fv}|{glabel}"] = sp[i, j]
+    return {"sizes": sizes, "curves": curves}
+
+
+def declare_units(n: int = 256) -> list:
+    """The whole figure's model evaluation as one grid unit."""
+    return [model_eval_grid_unit(evaluate_curves, {"n": n},
+                                 label=f"fig4-grid@n={n}")]
+
 
 def run(n: int = 256) -> ExperimentReport:
     """Regenerate all four Fig 4 panels."""
     report = ExperimentReport("fig4", "Scalability on symmetric CMPs")
-    sizes = merging.power_of_two_sizes(n)
+    [unit] = declare_units(n)
+    payload = resolve_units([unit])[unit.key]
+    sizes = np.asarray(payload["sizes"])
     curves: dict[tuple, np.ndarray] = {}
 
     for panel, con, ored in PANELS:
         series = {}
-        for f in (0.999, 0.99):
-            p = AppParams(f=f, fcon_share=con, fored_share=ored)
-            for growth, glabel in ((LINEAR, "Linear"), (LOG, "Log")):
-                sp = np.asarray(merging.speedup_symmetric(p, n, sizes, growth))
+        for f in _F_VALUES:
+            for _, glabel in _GROWTHS:
+                sp = np.asarray(payload["curves"][f"{panel}|{f}|{glabel}"])
                 series[f"f={f} {glabel}"] = sp
                 curves[(panel, f, glabel)] = sp
         report.add_table(series_table(
@@ -90,4 +115,6 @@ def run(n: int = 256) -> ExperimentReport:
     return report
 
 
-SPEC = ExperimentSpec("fig4", run)
+SPEC = ExperimentSpec(
+    "fig4", run, stages=(Stage("model-eval-grid", declare_units),)
+)

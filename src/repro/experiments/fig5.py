@@ -9,13 +9,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import merging
+from repro.core import gridkernels, merging
 from repro.core.classes import TABLE3_CLASSES
-from repro.core.params import AppParams
 from repro.experiments.report import ExperimentReport, PaperComparison, series_table
-from repro.pipeline import ExperimentSpec
+from repro.pipeline import ExperimentSpec, Stage, model_eval_grid_unit, resolve_units
 
-__all__ = ["run", "PANEL_ORDER", "SPEC"]
+__all__ = ["run", "declare_units", "evaluate_curves", "PANEL_ORDER", "SPEC"]
 
 #: panels (a)–(h) in the paper's order: (parallelism, constant, reduction)
 PANEL_ORDER = (
@@ -32,18 +31,47 @@ PANEL_ORDER = (
 _R_CHOICES = (1.0, 4.0, 16.0)
 
 
+def evaluate_curves(n: int) -> dict:
+    """All 24 Fig 5 curves in one vectorized grid evaluation per small-core
+    choice (the eight panels broadcast against the rl axis)."""
+    by_key = {(c.parallelism, c.constant, c.reduction): c for c in TABLE3_CLASSES}
+    params = [by_key[(par, con, red)].params()
+              for _, par, con, red in PANEL_ORDER]
+    f = np.asarray([p.f for p in params])[:, None]
+    con = np.asarray([p.fcon_share for p in params])[:, None]
+    ored = np.asarray([p.fored_share for p in params])[:, None]
+    grid = merging.power_of_two_sizes(n)
+    out: dict = {}
+    for r in _R_CHOICES:
+        sizes = grid[grid >= r]
+        sp = gridkernels.merging_asymmetric(f, con, ored, n, sizes, float(r))
+        out[f"r={int(r)}"] = {
+            "sizes": sizes,
+            "panels": {panel: sp[i] for i, (panel, *_key) in enumerate(PANEL_ORDER)},
+        }
+    return out
+
+
+def declare_units(n: int = 256) -> list:
+    """The whole figure's model evaluation as one grid unit."""
+    return [model_eval_grid_unit(evaluate_curves, {"n": n},
+                                 label=f"fig5-grid@n={n}")]
+
+
 def run(n: int = 256) -> ExperimentReport:
     """Regenerate all eight Fig 5 panels."""
     report = ExperimentReport("fig5", "Scalability on asymmetric CMPs")
-    by_key = {(c.parallelism, c.constant, c.reduction): c for c in TABLE3_CLASSES}
+    [unit] = declare_units(n)
+    payload = resolve_units([unit])[unit.key]
     curves: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
 
     for panel, par, con, red in PANEL_ORDER:
-        params = by_key[(par, con, red)].params()
         series = {}
         x_axis = None
         for r in _R_CHOICES:
-            sizes, sp = merging.sweep_asymmetric(params, n, r=r)
+            block = payload[f"r={int(r)}"]
+            sizes = np.asarray(block["sizes"])
+            sp = np.asarray(block["panels"][panel])
             curves[(panel, r)] = (sizes, sp)
             if x_axis is None or len(sizes) > len(x_axis):
                 x_axis = sizes
@@ -94,4 +122,6 @@ def run(n: int = 256) -> ExperimentReport:
     return report
 
 
-SPEC = ExperimentSpec("fig5", run)
+SPEC = ExperimentSpec(
+    "fig5", run, stages=(Stage("model-eval-grid", declare_units),)
+)

@@ -14,11 +14,13 @@ from repro.pipeline.builders import (
     HARDWARE_MODEL,
     HARDWARE_PROCESS,
     MODEL_EVAL,
+    MODEL_EVAL_GRID,
     SIM_PROGRAM,
     breakdown_from_payload,
     hardware_model_units,
     hardware_process_units,
     hardware_units,
+    model_eval_grid_unit,
     model_eval_unit,
     sim_point_unit,
     sim_program_unit,
@@ -47,6 +49,7 @@ __all__ = [
     "HARDWARE_MODEL",
     "HARDWARE_PROCESS",
     "MODEL_EVAL",
+    "MODEL_EVAL_GRID",
     "sim_sweep_units",
     "sim_point_unit",
     "sim_program_unit",
@@ -54,6 +57,7 @@ __all__ = [
     "hardware_model_units",
     "hardware_process_units",
     "model_eval_unit",
+    "model_eval_grid_unit",
     "breakdown_from_payload",
     "resolve_units",
     "cache_get",

@@ -23,6 +23,13 @@ an experiment can touch:
     One expensive model-layer evaluation (e.g. a grid point of the
     conclusions sweep), named by function reference.  Not disk-cacheable
     either: analytic results depend on unversioned model code.
+``model-eval-grid``
+    One *vectorized* model evaluation over a whole parameter grid (the
+    :mod:`repro.core.gridkernels` path): a single unit replaces a fan of
+    per-point ``model-eval`` units — e.g. the conclusions experiment's
+    48-point sweep is one numpy call.  Numpy arrays in the payload are
+    lowered to plain lists (float64 round-trips exactly through JSON),
+    so grid payloads journal and resume like any other unit.
 
 Every builder hashes a canonical description of everything the payload
 depends on into the unit key, so engine dedup identity, journal identity
@@ -45,6 +52,7 @@ __all__ = [
     "HARDWARE_MODEL",
     "HARDWARE_PROCESS",
     "MODEL_EVAL",
+    "MODEL_EVAL_GRID",
     "sim_sweep_units",
     "sim_point_unit",
     "sim_program_unit",
@@ -52,17 +60,20 @@ __all__ = [
     "hardware_model_units",
     "hardware_process_units",
     "model_eval_unit",
+    "model_eval_grid_unit",
     "breakdown_from_payload",
     "execute_sim_program",
     "execute_hardware_model",
     "execute_hardware_process",
     "execute_model_eval",
+    "execute_model_eval_grid",
 ]
 
 SIM_PROGRAM = "sim-program"
 HARDWARE_MODEL = "hardware-model"
 HARDWARE_PROCESS = "hardware-process"
 MODEL_EVAL = "model-eval"
+MODEL_EVAL_GRID = "model-eval-grid"
 
 #: bump when :func:`repro.hardware.executor.model_breakdown`'s pricing
 #: semantics change, so persisted hardware-model results can never
@@ -273,3 +284,56 @@ def execute_model_eval(spec: tuple) -> dict:
             f"got {type(payload).__name__}"
         )
     return payload
+
+
+def model_eval_grid_unit(fn: Callable, kwargs: dict, label: str = "") -> WorkUnit:
+    """One *vectorized* model evaluation over a whole parameter grid.
+
+    ``fn`` must be a module-level function whose kwargs are plain data
+    (floats, ints, strings, lists of floats) and whose return value is a
+    dict of numpy arrays / nested dicts / scalars — the executor lowers
+    arrays to lists so the payload journals as JSON.  One grid unit
+    subsumes what would otherwise be a fan of per-point ``model-eval``
+    units; like them it dedupes and journals but never hits the disk
+    store (analytic results depend on unversioned model code).
+    """
+    ref = func_ref(fn)
+    key = SweepStore.key_for({
+        "kind": MODEL_EVAL_GRID,
+        "fn": ref,
+        "kwargs": dict(sorted(kwargs.items())),
+    })
+    return WorkUnit(
+        kind=MODEL_EVAL_GRID, key=key, spec=(ref, dict(kwargs)),
+        label=label or ref.rsplit(":", 1)[-1], cacheable=False,
+    )
+
+
+def _plainify(value):
+    """Lower numpy containers/scalars to JSON-clean python equivalents.
+
+    float64 → float is exact (same IEEE-754 double), so grid payloads
+    survive the journal byte-identically to a fresh evaluation.
+    """
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {k: _plainify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plainify(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def execute_model_eval_grid(spec: tuple) -> dict:
+    ref, kwargs = spec
+    payload = _resolve_ref(ref)(**kwargs)
+    if not isinstance(payload, dict):
+        raise TypeError(
+            f"model-eval-grid function {ref} must return a dict payload, "
+            f"got {type(payload).__name__}"
+        )
+    return _plainify(payload)

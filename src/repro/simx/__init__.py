@@ -20,7 +20,9 @@ Typical use::
     result.phase_cycles("reduction")
 """
 
+from repro.simx.batch import supports_batch_path
 from repro.simx.config import CacheConfig, CoreConfig, MachineConfig
+from repro.simx.fastpath import supports_fast_path
 from repro.simx.machine import Machine, SimulationResult
 from repro.simx.stats import PhaseStats
 from repro.simx.trace import (
@@ -53,4 +55,6 @@ __all__ = [
     "Unlock",
     "PhaseBegin",
     "PhaseEnd",
+    "supports_batch_path",
+    "supports_fast_path",
 ]

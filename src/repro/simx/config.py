@@ -134,6 +134,14 @@ class MachineConfig:
     #: burst is about to evict a shared line.  Disable to force the
     #: reference path everywhere.
     fast_path: bool = True
+    #: execute whole traces as lockstep batch epochs (repro.simx.batch):
+    #: each thread's private segments run back-to-back with no scheduler
+    #: pass, and only synchronisation/shared ops are globally ordered.
+    #: Cycle- and stats-identical to the reference path by construction
+    #: (enforced by tests/differential); subject to the same safety gates
+    #: as the fast path.  Takes precedence over ``fast_path`` when both
+    #: are enabled and supported.
+    batch_path: bool = False
 
     def __post_init__(self) -> None:
         check_positive_int(self.n_cores, "n_cores")

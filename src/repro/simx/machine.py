@@ -228,6 +228,13 @@ class Machine:
                 f"{self.config.n_cores} cores (one thread per core)"
             )
 
+        # engine priority: batch -> fast -> reference (each gate falls
+        # through to the next when the configuration rules it out)
+        from repro.simx.batch import run_batch, supports_batch_path
+
+        if supports_batch_path(self.config, max_cycles):
+            return run_batch(self.config, program)
+
         coherence = CoherenceController(self.config)
         cores = [
             CoreModel(

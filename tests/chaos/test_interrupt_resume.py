@@ -117,8 +117,8 @@ class TestTornJournalResume:
 
 class TestResumeNoop:
     def test_fig4_resume_reproduces_the_completed_run(self, workdir):
-        """fig4 declares no sweep units; --resume of a *finished* run is a
-        pure re-derivation and must reproduce the same bytes."""
+        """fig4 declares one model-eval-grid unit; --resume of a *finished*
+        run replays it from the journal and must reproduce the same bytes."""
         first = run_cli(["run", "fig4", "--run-id", "f1", "--json", "out-a"],
                         workdir)
         assert first.returncode in (0, 1), first.stderr

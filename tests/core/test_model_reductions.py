@@ -19,9 +19,11 @@ dependency — checking the algebraic structure the paper relies on:
 import math
 import random
 
+import numpy as np
 import pytest
 
-from repro.core import amdahl, hill_marty, merging
+from repro.core import amdahl, communication, gridkernels, hill_marty, merging
+from repro.core.communication import MESH_COMM, PARALLEL_COMP
 from repro.core.growth import PolynomialGrowth, resolve_growth
 from repro.core.params import AppParams
 
@@ -134,3 +136,160 @@ def test_grid_is_deterministic():
     a = [p.values for p in _random_grid()]
     b = [p.values for p in _random_grid()]
     assert a == b
+
+
+# ── vectorized kernels vs the scalar stack (Eqs 1–8) ─────────────────────
+#
+# tests/differential/test_model_oracles.py sweeps random parameter points;
+# the classes below pin the *shape* contract of repro.core.gridkernels on
+# the same randomized grid: broadcasting matches per-point scalar calls
+# bit-exactly, singleton and empty axes behave, and the raw-array kernels
+# accept the f = 1.0 / r = rl edges the scalar AppParams path forbids.
+
+
+def _broadcast_cases(seed=_SEED + 2, n_cases=12):
+    rng = random.Random(seed)
+    cases = []
+    for i in range(n_cases):
+        n = 2 ** rng.randint(3, 9)
+        fs = np.array([rng.uniform(0.01, 0.999) for _ in range(rng.randint(1, 5))])
+        c = rng.uniform(0.0, 1.0)
+        o = rng.uniform(0.0, 1.0)
+        growth = _GROWTHS[rng.randrange(len(_GROWTHS))]
+        cases.append(pytest.param(n, fs, c, o, growth, id=f"bcast{i}-n{n}"))
+    return cases
+
+
+@pytest.mark.parametrize("n,fs,c,o,growth", _broadcast_cases())
+class TestGridMatchesScalarUnderBroadcast:
+    """A 2-D ``(f, r)`` broadcast equals the scalar call at every cell."""
+
+    def test_eq1_amdahl(self, n, fs, c, o, growth):
+        ps = np.array([1.0, 2.0, float(n)])
+        grid = gridkernels.amdahl_speedup(fs[:, None], ps[None, :])
+        assert grid.shape == (len(fs), len(ps))
+        for i, f in enumerate(fs):
+            for j, p in enumerate(ps):
+                assert grid[i, j] == amdahl.speedup(float(f), float(p))
+
+    def test_eq2_symmetric(self, n, fs, c, o, growth):
+        sizes = merging.power_of_two_sizes(n)
+        grid = gridkernels.hm_symmetric(fs[:, None], n, sizes)
+        assert grid.shape == (len(fs), len(sizes))
+        for i, f in enumerate(fs):
+            for j, r in enumerate(sizes):
+                assert grid[i, j] == hill_marty.speedup_symmetric(
+                    float(f), n, float(r))
+
+    def test_eq3_asymmetric(self, n, fs, c, o, growth):
+        sizes = merging.power_of_two_sizes(n)
+        grid = gridkernels.hm_asymmetric(fs[:, None], n, sizes)
+        for i, f in enumerate(fs):
+            for j, rl in enumerate(sizes):
+                assert grid[i, j] == hill_marty.speedup_asymmetric(
+                    float(f), n, float(rl))
+
+    def test_eq4_merging_symmetric(self, n, fs, c, o, growth):
+        sizes = merging.power_of_two_sizes(n)
+        grid = gridkernels.merging_symmetric(fs[:, None], c, o, n, sizes, growth)
+        for i, f in enumerate(fs):
+            params = AppParams(f=float(f), fcon_share=c, fored_share=o)
+            for j, r in enumerate(sizes):
+                assert grid[i, j] == merging.speedup_symmetric(
+                    params, n, float(r), growth=growth)
+
+    def test_eq5_merging_asymmetric(self, n, fs, c, o, growth):
+        sizes = merging.power_of_two_sizes(n)
+        grid = gridkernels.merging_asymmetric(
+            fs[:, None], c, o, n, sizes, 1.0, growth)
+        for i, f in enumerate(fs):
+            params = AppParams(f=float(f), fcon_share=c, fored_share=o)
+            for j, rl in enumerate(sizes):
+                assert grid[i, j] == merging.speedup_asymmetric(
+                    params, n, float(rl), r=1.0, growth=growth)
+
+    def test_eq6_and_7_communication(self, n, fs, c, o, growth):
+        sizes = merging.power_of_two_sizes(n)
+        sym = gridkernels.comm_symmetric(fs[:, None], c, n, sizes)
+        asym = gridkernels.comm_asymmetric(fs[:, None], c, n, sizes)
+        for i, f in enumerate(fs):
+            params = AppParams(f=float(f), fcon_share=c, fored_share=o)
+            for j, r in enumerate(sizes):
+                assert sym[i, j] == communication.speedup_symmetric_comm(
+                    params, n, float(r), PARALLEL_COMP, MESH_COMM)
+                assert asym[i, j] == communication.speedup_asymmetric_comm(
+                    params, n, float(r))
+
+
+class TestGridEdgeShapes:
+    """Singleton axes broadcast away; size-0 axes yield size-0 results."""
+
+    def test_singleton_axes_match_the_flat_call(self):
+        sizes = merging.power_of_two_sizes(64)
+        flat = gridkernels.merging_symmetric(0.97, 0.5, 0.8, 64, sizes, "log")
+        nested = gridkernels.merging_symmetric(
+            np.array([[0.97]]), np.array([[0.5]]), np.array([[0.8]]),
+            64, sizes, "log")
+        assert nested.shape == (1, len(sizes))
+        assert np.array_equal(nested[0], flat)
+
+    def test_empty_grids_yield_empty_results(self):
+        empty = np.empty(0)
+        assert gridkernels.amdahl_speedup(empty, 4.0).shape == (0,)
+        assert gridkernels.hm_symmetric(0.5, 64, empty).shape == (0,)
+        assert gridkernels.hm_asymmetric(0.5, 64, empty).shape == (0,)
+        assert gridkernels.hm_asymmetric_grouped(0.5, 64, empty).shape == (0,)
+        assert gridkernels.merging_symmetric(0.5, 0.5, 0.5, 64, empty).shape == (0,)
+        assert gridkernels.merging_asymmetric(0.5, 0.5, 0.5, 64, empty).shape == (0,)
+        assert gridkernels.comm_symmetric(0.5, 0.5, 64, empty).shape == (0,)
+        assert gridkernels.comm_asymmetric(0.5, 0.5, 64, empty).shape == (0,)
+        assert gridkernels.mesh_growcomm(empty).shape == (0,)
+
+    def test_empty_parameter_grid_through_the_reducers(self):
+        r, sp = gridkernels.best_symmetric_grid(np.empty(0), 0.5, 0.5, 64)
+        assert r.shape == sp.shape == (0,)
+        rl, r, sp = gridkernels.best_asymmetric_grid(np.empty(0), 0.5, 0.5, 64)
+        assert rl.shape == r.shape == sp.shape == (0,)
+        out = gridkernels.conclusions_grid(np.empty(0), 0.5, 0.5, 64)
+        assert all(v.shape == (0,) for v in out.values())
+
+    def test_out_of_range_inputs_still_raise_elementwise(self):
+        with pytest.raises(ValueError):
+            gridkernels.amdahl_speedup(np.array([0.5, 1.5]), 4.0)
+        with pytest.raises(ValueError):
+            gridkernels.hm_symmetric(0.5, 64, np.array([1.0, 128.0]))
+        with pytest.raises(ValueError):
+            gridkernels.merging_symmetric(0.5, 0.5, 0.5, 64, np.array([0.0]))
+
+
+class TestGridAcceptsEdgesTheScalarPathForbids:
+    """The raw-array kernels accept f = 1.0 and rl = r; AppParams cannot
+    express the former, so the expectation comes from the Eq 2/3 forms
+    whose serial term is exactly zero."""
+
+    def test_f_equal_one_zeroes_the_serial_term(self):
+        sizes = merging.power_of_two_sizes(64)
+        with pytest.raises(ValueError):
+            AppParams(f=1.0, fcon_share=0.5, fored_share=0.5)
+        hm = gridkernels.hm_symmetric(1.0, 64, sizes)
+        assert np.array_equal(
+            gridkernels.merging_symmetric(1.0, 0.5, 0.5, 64, sizes, "log"), hm)
+        assert np.array_equal(
+            gridkernels.comm_symmetric(1.0, 0.5, 64, sizes), hm)
+        # Eq 5 sums the parallel throughput in a different order than Eq 3,
+        # so compare within the kernel: with no serial work the share
+        # parameters cannot matter, bit-exactly.
+        asym = gridkernels.merging_asymmetric(1.0, 0.5, 0.5, 64, sizes, 1.0)
+        assert np.array_equal(
+            gridkernels.merging_asymmetric(1.0, 0.0, 1.0, 64, sizes, 1.0), asym)
+        assert np.allclose(asym, gridkernels.hm_asymmetric(1.0, 64, sizes),
+                           rtol=1e-15)
+
+    def test_rl_equal_r_matches_the_scalar_call(self):
+        params = AppParams(f=0.97, fcon_share=0.4, fored_share=0.6)
+        for size in (1.0, 4.0, 16.0):
+            grid = gridkernels.merging_asymmetric(
+                0.97, 0.4, 0.6, 64, size, size, "linear")
+            scalar = merging.speedup_asymmetric(
+                params, 64, size, r=size, growth="linear")
+            assert grid == scalar

@@ -1,0 +1,66 @@
+"""Crash-safety for the vectorized model path: an experiment whose whole
+figure is one ``model-eval-grid`` unit (fig4), SIGKILLed mid-append at
+the unit's settle and resumed with ``--resume``, reproduces the
+uninterrupted report byte-for-byte from the journal alone.
+
+The grid unit's payload is the full vectorized result set, so this also
+pins that grid payloads round-trip losslessly through the journal's
+settle records (float64 arrays in, identical bytes out).
+"""
+
+import json
+import shutil
+import signal
+
+import pytest
+
+from repro.engine.chaos import Chaos
+from tests.chaos.test_interrupt_resume import run_cli
+
+#: fig4 declares exactly one model-eval-grid unit (the whole figure)
+FIG4_ARGS = ["run", "fig4"]
+N_UNITS = 1
+
+SEED = 2028
+KILL_AT = Chaos(seed=SEED).settle_point(N_UNITS)
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    return tmp_path_factory.mktemp("chaos-grid")
+
+
+@pytest.fixture(scope="module")
+def control_report(workdir):
+    """The uninterrupted run's fig4 report (its own sweep cache)."""
+    proc = run_cli([*FIG4_ARGS, "--json", "ctrl"], workdir,
+                   sweeps="ctrl-sweeps")
+    assert proc.returncode in (0, 1), proc.stderr
+    return (workdir / "ctrl" / "fig4.json").read_bytes()
+
+
+class TestGridUnitSigkillThenResume:
+    @pytest.fixture(scope="class")
+    def killed(self, workdir):
+        proc = run_cli([*FIG4_ARGS, "--run-id", "g1"], workdir,
+                       kill_at=KILL_AT)
+        return proc
+
+    def test_kill_was_delivered(self, killed):
+        assert killed.returncode == -signal.SIGKILL
+
+    def test_journal_holds_the_settled_grid_unit(self, workdir, killed):
+        lines = (workdir / "runs" / "g1" / "journal.jsonl").read_text().splitlines()
+        assert len(lines) == KILL_AT + 1  # header + the grid unit's record
+
+    def test_resume_is_byte_identical(self, workdir, killed, control_report):
+        # wipe the sweep store: resume must stand on the journal alone
+        shutil.rmtree(workdir / "sweeps", ignore_errors=True)
+        proc = run_cli(["run", "--resume", "g1", "--json", "res"], workdir)
+        assert proc.returncode in (0, 1), proc.stderr
+        resumed = (workdir / "res" / "fig4.json").read_bytes()
+        assert resumed == control_report
+        events = [json.loads(l) for l in
+                  (workdir / "runs" / "g1" / "events.jsonl").open()]
+        hits = sum(1 for e in events if e["kind"] == "journal_hit")
+        assert hits >= KILL_AT

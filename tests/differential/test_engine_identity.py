@@ -1,0 +1,54 @@
+"""Cycle-identity fuzz: thousands of programs through all three engines.
+
+Every generated program runs through the reference interpreter, the
+fused fast path and the lockstep batch interpreter on the same (rotating)
+machine configuration; all observable output — total and per-thread
+cycles, instruction counts, protocol counters, per-phase busy/wait/span
+attribution and op accounting — must be identical.  Seeds are chunked so
+a failure names a narrow seed range that replays standalone via
+``tests.differential.gen.generate_program(seed, mix)``.
+"""
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.simx import Machine
+from tests.differential.gen import MIXES, generate_program
+from tests.simx.test_fastpath_differential import CONFIGS, assert_identical
+
+_CONFIG_RING = tuple(CONFIGS.items())
+
+#: seeds per mix; 5 mixes x 408 = 2040 programs (the acceptance bar is
+#: 2000).  Override with REPRO_DIFF_SEEDS for longer CI fuzz runs.
+SEEDS_PER_MIX = int(os.environ.get("REPRO_DIFF_SEEDS", "408"))
+_CHUNK = 51
+
+
+def run_three(cfg, program):
+    """One program through reference / fast / batch on the same config."""
+    ref = Machine(replace(cfg, fast_path=False, batch_path=False)).run(program)
+    fast = Machine(replace(cfg, fast_path=True, batch_path=False)).run(program)
+    bat = Machine(replace(cfg, batch_path=True)).run(program)
+    return ref, fast, bat
+
+
+def test_corpus_meets_the_acceptance_bar():
+    assert len(MIXES) * SEEDS_PER_MIX >= 2000
+
+
+@pytest.mark.parametrize("start", range(0, SEEDS_PER_MIX, _CHUNK))
+@pytest.mark.parametrize("mix", MIXES)
+def test_three_engines_cycle_identical(mix, start):
+    for seed in range(start, min(start + _CHUNK, SEEDS_PER_MIX)):
+        config_name, cfg = _CONFIG_RING[seed % len(_CONFIG_RING)]
+        program = generate_program(seed, mix)
+        ref, fast, bat = run_three(cfg, program)
+        why = f"mix={mix} seed={seed} config={config_name}"
+        assert ref.engine == "reference", why
+        assert fast.engine == "fast", why
+        assert bat.engine == "batch", why
+        assert ref.n_ops == fast.n_ops == bat.n_ops, why
+        assert_identical(fast, ref)
+        assert_identical(bat, ref)

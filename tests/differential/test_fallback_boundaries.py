@@ -1,0 +1,157 @@
+"""Directed traces pinning the batch interpreter's fallback seams.
+
+The lockstep epochs may only elide scheduling where reordering is
+provably unobservable; each test here constructs the exact boundary
+where that proof stops — a coherence event inside an epoch, an L1 fill
+that would evict a shared line, a phase transition while other threads'
+clocks diverge — and asserts the batch engine both takes the fallback
+(where observable in the op accounting) and stays cycle-identical.
+Configurations whose state couples cores (banked DRAM, contended bus,
+prefetch, a cycle watchdog) must bypass the batch engine entirely.
+"""
+
+from dataclasses import replace
+
+from repro.simx import (
+    Barrier,
+    Compute,
+    Load,
+    Machine,
+    Store,
+    supports_batch_path,
+)
+from repro.simx.batch import compile_batch
+from tests.simx.test_fastpath_differential import (
+    CONFIGS,
+    LINE,
+    assert_identical,
+    program_of,
+    tiny_config,
+)
+
+
+def run_ref_and_batch(threads, config):
+    ref = Machine(replace(config, fast_path=False, batch_path=False)).run(
+        program_of(threads)
+    )
+    bat = Machine(replace(config, batch_path=True)).run(program_of(threads))
+    return ref, bat
+
+
+def private(tid, idx):
+    return (0x1000 + tid * 0x100 + idx) * LINE
+
+
+class TestCoherenceEventInsideEpoch:
+    def test_first_shared_access_parks_the_epoch(self):
+        """A shared access mid-trace splits the segment at compile time
+        and executes in global order; cycles stay identical."""
+        threads = [
+            [Load(private(0, i)) for i in range(6)]
+            + [Store(0)]  # first coherence event
+            + [Load(private(0, i)) for i in range(6)],
+            [Compute(100), Load(0), Compute(100)],
+        ]
+        cfg = tiny_config()
+        compiled = compile_batch(program_of(threads), cfg.line_size)
+        # the shared line is a segment boundary, not part of any burst
+        assert 0 in compiled.shared_lines
+        ref, bat = run_ref_and_batch(threads, cfg)
+        assert bat.engine == "batch"
+        assert bat.n_bursts >= 2  # the private run was split, not fused over
+        assert_identical(bat, ref)
+
+    def test_remote_invalidation_between_epochs(self):
+        """Thread 1's store invalidates thread 0's cached shared line;
+        the reload observes it through the globally-ordered path."""
+        threads = [
+            [Load(0), Barrier(0), Load(0)],
+            [Store(0), Barrier(0), Compute(10)],
+        ]
+        ref, bat = run_ref_and_batch(threads, tiny_config())
+        assert ref.coherence.invalidations >= 1
+        assert_identical(bat, ref)
+
+
+class TestEvictionHazardBail:
+    def test_private_fill_into_a_set_holding_a_shared_line_bails(self):
+        """With shared lines resident in a full set, a private fill's
+        victim depends on remote timing: the op must fall back.  Under
+        the tiny L1 (4 sets x 2 ways), private lines 0,4,8,12 and shared
+        lines 0,4 all map to set 0."""
+        threads = [
+            [Load(0 * LINE), Load(4 * LINE)]  # two shared lines fill set 0
+            + [Load(private(0, i)) for i in (0, 4, 8, 12)],
+            [Compute(50), Load(0 * LINE)],
+        ]
+        cfg = tiny_config()
+        ref, bat = run_ref_and_batch(threads, cfg)
+        assert bat.n_burst_fallbacks >= 1
+        assert_identical(bat, ref)
+
+    def test_bailed_op_still_executes_exactly_once(self):
+        threads = [
+            [Load(0 * LINE), Load(4 * LINE)]
+            + [Store(private(0, i)) for i in (0, 4, 8, 12)],
+        ]
+        ref, bat = run_ref_and_batch(threads, tiny_config())
+        assert ref.n_ops == bat.n_ops
+        assert_identical(bat, ref)
+
+
+class TestPhaseTransitionInsideEpoch:
+    def test_phase_markers_note_eager_clocks(self):
+        """Phase spans are recorded at each thread's own (eagerly
+        advanced) clock, exactly as the reference scheduler would."""
+        from repro.simx import PhaseBegin, PhaseEnd
+
+        threads = [
+            [PhaseBegin("parallel"), Compute(400)]
+            + [Load(private(0, i)) for i in range(8)]
+            + [PhaseEnd("parallel"), PhaseBegin("merge"), Store(0),
+               PhaseEnd("merge")],
+            [PhaseBegin("parallel"), Compute(20), PhaseEnd("parallel"),
+             PhaseBegin("merge"), Load(0), PhaseEnd("merge")],
+        ]
+        ref, bat = run_ref_and_batch(threads, tiny_config())
+        assert ref.phase_stats.spans == bat.phase_stats.spans
+        assert_identical(bat, ref)
+
+
+class TestConfigurationGates:
+    """State that couples cores must bypass the batch engine entirely."""
+
+    def test_banked_dram_falls_back_to_reference(self):
+        cfg = replace(tiny_config(), batch_path=True, dram="banked")
+        assert not supports_batch_path(cfg)
+        threads = [[Load(private(0, i)) for i in range(8)], [Load(0), Store(0)]]
+        got = Machine(cfg).run(program_of(threads))
+        ref = Machine(replace(cfg, batch_path=False, fast_path=False)).run(
+            program_of(threads)
+        )
+        # banked DRAM also rules out the fused fast path: full reference
+        assert got.engine == "reference"
+        assert_identical(got, ref)
+
+    def test_contended_bus_falls_back(self):
+        cfg = replace(tiny_config(), batch_path=True, bus_occupancy=2)
+        assert not supports_batch_path(cfg)
+        threads = [[Load(0), Store(0)], [Load(0), Store(0)]]
+        got = Machine(cfg).run(program_of(threads))
+        assert got.engine == "reference"
+
+    def test_prefetch_falls_back(self):
+        cfg = replace(tiny_config(), batch_path=True, prefetch_next_line=True)
+        assert not supports_batch_path(cfg)
+
+    def test_watchdog_falls_back(self):
+        cfg = replace(tiny_config(), batch_path=True)
+        assert supports_batch_path(cfg)
+        assert not supports_batch_path(cfg, max_cycles=10_000)
+        threads = [[Compute(100)]]
+        got = Machine(cfg).run(program_of(threads), max_cycles=10_000)
+        assert got.engine == "reference"
+
+    def test_every_differential_config_supports_batch(self):
+        for name, cfg in CONFIGS.items():
+            assert supports_batch_path(replace(cfg, batch_path=True)), name

@@ -58,13 +58,14 @@ def test_table2_parallel_report_is_byte_identical(fresh_store):
 
 
 def test_fig4_parallel_report_is_byte_identical(fresh_store):
-    """Model-only experiment: the engine has nothing to execute, but the
-    --parallel path must still be a byte-level no-op on the report."""
+    """Model-only experiment: the whole figure is one vectorized
+    model-eval-grid unit; the --parallel path must still be a byte-level
+    no-op on the report."""
     fresh_store("fig4")
     serial = run_experiment("fig4")
     with engine.session(2) as sess:
         parallel = run_experiment("fig4")
-    assert sess.stats["units"] == 0
+    assert sess.stats["units"] == 1
     assert as_bytes(parallel) == as_bytes(serial)
 
 

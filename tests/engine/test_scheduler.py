@@ -129,10 +129,10 @@ class TestPrecompute:
                 )
             # sweep: 2 experiments x 3 workloads x 2 points, shared
             # between table2 and fig2; hardware: fig2's own stage,
-            # 3 workloads x 2 points
-            assert declared == 18
+            # 3 workloads x 2 points; plus fig4's one model-eval-grid
+            assert declared == 19
             assert sess.stats["deduped"] == 6
-            assert sess.stats["executed"] == 12
+            assert sess.stats["executed"] == 13
         finally:
             simsweep.set_disk_store(restore)
             simsweep.clear_cache(memory_only=True)
