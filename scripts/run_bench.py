@@ -14,12 +14,16 @@ Usage::
 
     python scripts/run_bench.py [--output BENCH_simx.json] [--quick]
         [--check-against BASELINE] [--metrics-out METRICS.jsonl]
-        [--fuzz-iters N]
+        [--fuzz-iters N] [--serve]
 
 ``--quick`` trims benchmark rounds for a fast smoke run.
 ``--check-against`` is the CI regression gate: exit non-zero if any
 benchmark with a known op count lost more than 25% ops/sec against the
-committed baseline JSON.  ``--metrics-out`` additionally runs a small
+committed baseline JSON.  ``--serve`` additionally runs the query-server
+load benchmark (``scripts/run_loadgen.py --spawn``), writes
+``BENCH_serve.json``, folds its headline numbers into the report, and —
+when ``--check-against`` is given — gates serve QPS against the
+committed ``BENCH_serve.json`` next to the baseline file.  ``--metrics-out`` additionally runs a small
 instrumented sweep and writes its ``repro.obs`` metrics + spans as
 JSONL (readable with ``repro stats``).  ``--fuzz-iters N`` first runs N
 seeded random trace programs (``tests.differential.gen``) through all
@@ -248,6 +252,29 @@ def time_runall_precompute() -> dict:
     }
 
 
+def run_serve_bench(output: Path, duration: float,
+                    check_against: "Path | None") -> "tuple[dict, list]":
+    """The serve load benchmark via ``run_loadgen`` (same interpreter);
+    returns its headline numbers and any gate failures."""
+    sys.path.insert(0, str(REPO / "scripts"))
+    import run_loadgen
+
+    argv = ["--spawn", "--duration", str(duration), "--check",
+            "--output", str(output)]
+    if check_against is not None:
+        argv += ["--check-against", str(check_against)]
+    rc = run_loadgen.main(argv)
+    report = json.loads(output.read_text())
+    summary = {
+        "qps": report["qps"],
+        "p50_ms": report["latency_ms"]["p50"],
+        "p99_ms": report["latency_ms"]["p99"],
+        "lru_hit_rate": report["cache"]["lru_hit_rate"],
+    }
+    return summary, ([] if rc == 0 else ["serve benchmark gate failed "
+                                         "(see run_loadgen output above)"])
+
+
 def main(argv: "list[str] | None" = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--output", default=str(REPO / "BENCH_simx.json"))
@@ -260,6 +287,11 @@ def main(argv: "list[str] | None" = None) -> int:
     ap.add_argument("--fuzz-iters", type=int, metavar="N", default=0,
                     help="run N differential fuzz programs through all three "
                          "engines before benchmarking")
+    ap.add_argument("--serve", action="store_true",
+                    help="also run the serve load benchmark "
+                         "(writes BENCH_serve.json)")
+    ap.add_argument("--serve-output", default=str(REPO / "BENCH_serve.json"))
+    ap.add_argument("--serve-duration", type=float, default=8.0)
     args = ap.parse_args(argv)
 
     sys.path.insert(0, str(SRC))
@@ -304,6 +336,17 @@ def main(argv: "list[str] | None" = None) -> int:
     }
     if fuzz is not None:
         report["differential_fuzz"] = fuzz
+
+    serve_failures: list = []
+    if args.serve:
+        serve_baseline = None
+        if args.check_against:
+            # the serve baseline is the committed BENCH_serve.json in the
+            # same directory as the simx baseline
+            serve_baseline = Path(args.check_against).parent / "BENCH_serve.json"
+        report["serve"], serve_failures = run_serve_bench(
+            Path(args.serve_output), args.serve_duration, serve_baseline)
+
     out = Path(args.output)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
@@ -328,7 +371,18 @@ def main(argv: "list[str] | None" = None) -> int:
           f"{rp['unique_units']} unique (dedup {rp['dedup_ratio']}x); "
           f"cold {rp['cold_seconds']}s -> warm {rp['disk_warm_seconds']}s")
 
+    if "serve" in report:
+        sv = report["serve"]
+        hit = sv["lru_hit_rate"]
+        print(f"  serve                    {sv['qps']:,} qps, "
+              f"p50 {sv['p50_ms']}ms / p99 {sv['p99_ms']}ms, "
+              f"lru hit rate {f'{hit:.0%}' if hit is not None else 'n/a'}")
+
     ok = True
+    if serve_failures:
+        for f in serve_failures:
+            print(f"FAIL: {f}")
+        ok = False
     if fp["private_burst_speedup"] and fp["private_burst_speedup"] < 3.0:
         print("FAIL: private-burst speedup below the 3x acceptance bar")
         ok = False

@@ -30,6 +30,11 @@ Subcommands
     Render a metrics/span JSONL file written by ``--metrics-out`` (see
     ``docs/observability.md``) as terminal tables, or re-emit it in the
     Prometheus text exposition format.
+``serve [--host H] [--port P] [--cache-size N] [--no-metrics]``
+    Run the async model-query HTTP/JSON server (:mod:`repro.serve`):
+    point/sweep evaluation of Eqs 1–8, optimal-(r, rl) search, and
+    paper-report endpoints over the pipeline's cache tiers, with
+    ``/metrics`` (Prometheus) and ``/healthz``.  See ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -47,9 +52,22 @@ from repro.experiments.registry import (
 )
 from repro.util.logging import configure, get_logger
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "version_string"]
 
 log = get_logger("cli")
+
+
+def version_string() -> str:
+    """The installed package version (falls back to ``repro.__version__``
+    for PYTHONPATH-only checkouts that were never pip-installed)."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except (ImportError, PackageNotFoundError):
+        import repro
+
+        return repro.__version__
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +79,8 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("-v", "--verbose", action="store_true")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {version_string()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     list_p = sub.add_parser("list", help="list available experiments")
@@ -177,6 +197,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the Prometheus text exposition format "
                               "instead of terminal tables")
 
+    serve_p = sub.add_parser(
+        "serve", help="run the async model-query HTTP/JSON server"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8177,
+                         help="bind port (default 8177; 0 picks a free one)")
+    serve_p.add_argument("--cache-size", type=int, default=4096, metavar="N",
+                         help="in-memory LRU response-cache entries "
+                              "(0 disables the tier)")
+    serve_p.add_argument("--no-metrics", action="store_true",
+                         help="leave observability off (/metrics will be "
+                              "empty; saves the instrumentation branch)")
+
     diff_p = sub.add_parser(
         "diff", help="compare two stored JSON reports of the same experiment"
     )
@@ -272,6 +306,20 @@ def _metrics_context(args: argparse.Namespace):
         obs.reset()
         obs.RECORDER.clear()
         print(f"[metrics written to {out}]")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from repro import obs
+    from repro.serve import ServeApp
+    from repro.serve import server as serve_server
+
+    if not args.no_metrics:
+        obs.set_enabled(True)
+        os.environ["REPRO_OBS"] = "1"  # reach any spawned engine workers
+    return serve_server.run(ServeApp(cache_size=args.cache_size),
+                            host=args.host, port=args.port)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -550,6 +598,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_cache(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "diff":
         from repro.experiments.diffing import diff_reports
         from repro.experiments.store import load_report

@@ -48,11 +48,22 @@ def _format_value(v: float) -> str:
     return str(int(f)) if f.is_integer() else repr(f)
 
 
+def _escape_label_value(value: object) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote and line feed (in that order — escaping the
+    backslash first keeps the other two escapes unambiguous)."""
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _label_str(labels: dict, extra: "dict | None" = None) -> str:
     merged = {**labels, **(extra or {})}
     if not merged:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in merged.items())
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"'
+                     for k, v in merged.items())
     return "{" + inner + "}"
 
 

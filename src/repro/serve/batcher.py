@@ -1,0 +1,112 @@
+"""Micro-batching: many point queries, one vectorized kernel invocation.
+
+Point queries are tiny (one float out), so per-query kernel dispatch
+would dominate under load.  The :class:`MicroBatcher` exploits the event
+loop's natural arrival batching: every point query submitted while the
+loop is busy with the current tick lands in a pending list, and one
+``call_soon`` callback — scheduled when the first point arrives — drains
+the whole list at the next tick.  Points are grouped by their kernel
+signature ``(model, n, growth, perf)`` and each group becomes **one**
+``model-eval-grid`` work unit over stacked parameter arrays, resolved
+through the standard pipeline tiers off-loop (``asyncio.to_thread``) so
+the loop keeps accepting connections while numpy works.
+
+Because the grid kernels are elementwise over the point axis, each
+point's answer is bit-identical whether it was evaluated alone or in any
+batch — which is what makes it safe for the caller to cache per-point
+responses out of a batched evaluation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import obs
+from repro.serve import queries
+
+__all__ = ["MicroBatcher", "BATCH_FIELDS"]
+
+#: the per-point parameter fields a batch stacks into parallel arrays
+BATCH_FIELDS = ("f", "fcon_share", "fored_share", "r", "rl", "p")
+
+_BATCH_POINTS = obs.histogram(
+    "serve_batch_points", "point queries coalesced per grid invocation",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+)
+_EVALS = obs.counter(
+    "serve_evaluations_total", "underlying evaluations by query kind",
+    labels=("kind",),
+)
+
+
+class MicroBatcher:
+    """Gathers point queries per event-loop tick into grid units.
+
+    Event-loop-local like the rest of the serving tier: ``submit`` must be
+    called from the loop's thread; only the grid resolution itself runs on
+    a worker thread.
+    """
+
+    def __init__(self):
+        self._pending: "list[tuple[tuple, dict, asyncio.Future]]" = []
+        self._scheduled = False
+        self.batches = 0
+        self.points = 0
+
+    async def submit(self, group: tuple, point: "dict[str, float]") -> float:
+        """Queue one point for the next flush; returns its speedup.
+
+        ``group`` is the kernel signature ``(model, n, growth, perf)``;
+        ``point`` maps each relevant :data:`BATCH_FIELDS` name to a float.
+        """
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending.append((group, point, fut))
+        if not self._scheduled:
+            self._scheduled = True
+            asyncio.get_running_loop().call_soon(self._flush)
+        return await fut
+
+    def _flush(self) -> None:
+        """Drain everything queued this tick into one task per group."""
+        batch, self._pending = self._pending, []
+        self._scheduled = False
+        if not batch:
+            return
+        groups: "dict[tuple, list[tuple[dict, asyncio.Future]]]" = {}
+        for group, point, fut in batch:
+            groups.setdefault(group, []).append((point, fut))
+        for group, items in groups.items():
+            asyncio.get_running_loop().create_task(self._run_group(group, items))
+
+    async def _run_group(self, group: tuple,
+                         items: "list[tuple[dict, asyncio.Future]]") -> None:
+        # function-level import: repro.pipeline must not be this package's
+        # first import (its builders module loads the experiments registry)
+        from repro.pipeline import model_eval_grid_unit, resolve_units
+
+        model, n, growth, perf = group
+        kwargs: dict = {"model": model, "n": n, "growth": growth, "perf": perf}
+        for field in BATCH_FIELDS:
+            if any(field in point for point, _ in items):
+                kwargs[field] = [float(point.get(field, 0.0))
+                                 for point, _ in items]
+        self.batches += 1
+        self.points += len(items)
+        _BATCH_POINTS.observe(len(items))
+        _EVALS.inc(kind="point-batch")
+        unit = model_eval_grid_unit(
+            queries.eval_point_batch, kwargs,
+            label=f"serve-batch:{model}x{len(items)}",
+        )
+        try:
+            payloads = await asyncio.to_thread(resolve_units, [unit])
+            speedups = payloads[unit.key]["speedup"]
+        except Exception as exc:
+            for _, fut in items:
+                if not fut.done():
+                    fut.set_exception(exc)
+                    fut.exception()  # a cancelled caller must not warn
+            return
+        for i, (_, fut) in enumerate(items):
+            if not fut.done():
+                fut.set_result(float(speedups[i]))

@@ -1,0 +1,223 @@
+"""A stdlib-only asyncio HTTP/1.1 server for :class:`~repro.serve
+.handlers.ServeApp`.
+
+No frameworks: one ``asyncio.start_server`` accept loop, one coroutine
+per connection speaking just enough HTTP/1.1 for a JSON API — request
+line, headers, ``Content-Length`` bodies, persistent connections
+(keep-alive is what makes high closed-loop QPS possible), and bounded
+header/body sizes so a misbehaving client cannot balloon memory.
+
+Three entry points:
+
+* :func:`serve_forever` — the async server (used by the CLI);
+* :func:`run` — blocking wrapper with SIGINT/SIGTERM-friendly shutdown;
+* :class:`BackgroundServer` — run a server on an ephemeral port in a
+  daemon thread, for tests and the load generator's ``--spawn`` mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.serve.handlers import ServeApp
+from repro.util.logging import get_logger
+
+__all__ = ["serve_forever", "run", "BackgroundServer"]
+
+log = get_logger("serve")
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 500: "Internal Server Error",
+}
+
+
+def _response_bytes(status: int, content_type: str, payload: bytes,
+                    keep_alive: bool) -> bytes:
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode() + payload
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one request; returns ``(method, path, params, body, keep_alive)``
+    or None on a cleanly closed connection."""
+    try:
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise ValueError("truncated request") from None
+        return None  # client closed between requests: normal keep-alive end
+    except asyncio.LimitOverrunError:
+        raise ValueError("request headers too large") from None
+    if len(header_blob) > _MAX_HEADER_BYTES:
+        raise ValueError("request headers too large")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise ValueError(f"malformed request line {lines[0]!r}") from None
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    split = urlsplit(target)
+    path = unquote(split.path)
+    params = dict(parse_qsl(split.query))
+    length = int(headers.get("content-length", "0") or "0")
+    if length > _MAX_BODY_BYTES:
+        raise ValueError("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+    return method.upper(), path, params, body, keep_alive
+
+
+async def _handle_connection(app: ServeApp, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+    try:
+        while True:
+            try:
+                request = await _read_request(reader)
+            except (ValueError, asyncio.IncompleteReadError) as exc:
+                writer.write(_response_bytes(
+                    400, "application/json",
+                    (json.dumps({"error": str(exc)}) + "\n").encode(), False))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            method, path, params, body, keep_alive = request
+            status, ctype, payload = await app.handle(method, path, params, body)
+            writer.write(_response_bytes(status, ctype, payload, keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                return
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # client went away mid-response: not the server's problem
+    except asyncio.CancelledError:
+        pass  # server shutdown; ending normally keeps the stream
+        # protocol's done-callback from logging the cancellation
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError,
+                asyncio.CancelledError):
+            pass
+
+
+async def serve_forever(
+    app: "ServeApp | None" = None,
+    host: str = "127.0.0.1",
+    port: int = 8177,
+    ready: "asyncio.Event | None" = None,
+    on_bound=None,
+) -> None:
+    """Serve until cancelled.  ``on_bound(host, port)`` (if given) is
+    called with the actual bound address — port 0 picks an ephemeral one."""
+    app = app if app is not None else ServeApp()
+    server = await asyncio.start_server(
+        lambda r, w: _handle_connection(app, r, w), host, port,
+        limit=_MAX_HEADER_BYTES,
+    )
+    bound = server.sockets[0].getsockname()
+    log.info("serving on http://%s:%s", bound[0], bound[1])
+    if on_bound is not None:
+        on_bound(bound[0], bound[1])
+    if ready is not None:
+        ready.set()
+    async with server:
+        await server.serve_forever()
+
+
+def run(app: "ServeApp | None" = None, host: str = "127.0.0.1",
+        port: int = 8177) -> int:
+    """Blocking entry point for the CLI; returns an exit code."""
+    try:
+        asyncio.run(serve_forever(app, host, port,
+                                  on_bound=lambda h, p: print(
+                                      f"repro.serve listening on http://{h}:{p}",
+                                      flush=True)))
+    except KeyboardInterrupt:
+        print("serve: shut down")
+        return 0
+    except OSError as exc:
+        print(f"serve: cannot bind {host}:{port}: {exc}")
+        return 1
+    return 0
+
+
+class BackgroundServer:
+    """A server on a daemon thread with its own event loop.
+
+    >>> with BackgroundServer() as srv:           # doctest: +SKIP
+    ...     requests_go_to(f"http://127.0.0.1:{srv.port}")
+
+    Used by ``tests/serve`` and by ``scripts/run_loadgen.py --spawn``;
+    exiting the context cancels the server and joins the thread.
+    """
+
+    def __init__(self, app: "ServeApp | None" = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.app = app if app is not None else ServeApp()
+        self.host = host
+        self.port = port
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._bound = threading.Event()
+        self._task: "asyncio.Task | None" = None
+
+    def _main(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        def on_bound(_host, port):
+            self.port = port
+            self._bound.set()
+
+        self._task = loop.create_task(serve_forever(
+            self.app, self.host, self.port, on_bound=on_bound))
+        try:
+            loop.run_until_complete(self._task)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            # open keep-alive connections have their own tasks parked in
+            # readuntil; cancel them before closing the loop
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            for t in pending:
+                t.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(target=self._main,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        if not self._bound.wait(timeout=10):
+            raise RuntimeError("server failed to bind within 10s")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._task is not None:
+            self._loop.call_soon_threadsafe(self._task.cancel)
+        if self._thread is not None:
+            self._thread.join(timeout=10)

@@ -159,3 +159,38 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "tiny" in out and "coherence" in out
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits(self, capsys):
+        from repro.cli import version_string
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert version_string() in capsys.readouterr().out
+
+    def test_version_string_matches_package_metadata(self):
+        import repro
+        from repro.cli import version_string
+
+        v = version_string()
+        assert v  # never empty
+        # installed dist metadata if available, else the module fallback —
+        # either way it must agree with repro.__version__ (pyproject pins both)
+        assert v == repro.__version__
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1" and args.port == 8177
+        assert args.cache_size == 4096 and not args.no_metrics
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "9000",
+             "--cache-size", "16", "--no-metrics"])
+        assert args.host == "0.0.0.0" and args.port == 9000
+        assert args.cache_size == 16 and args.no_metrics

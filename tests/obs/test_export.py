@@ -38,6 +38,41 @@ class TestPrometheus:
         assert obs.render_prometheus(MetricsRegistry(enabled=True)) == ""
 
 
+class TestLabelEscaping:
+    """The exposition format requires ``\\``, ``"`` and newline escaped
+    inside label values — unescaped they corrupt the whole scrape."""
+
+    def _render_with_label(self, value):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("events_total", "events", labels=("src",)).inc(1, src=value)
+        return obs.render_prometheus(reg)
+
+    def test_double_quote_is_escaped(self):
+        text = self._render_with_label('say "hi"')
+        assert 'events_total{src="say \\"hi\\""} 1' in text.splitlines()
+
+    def test_backslash_is_escaped(self):
+        text = self._render_with_label("C:\\temp")
+        assert 'events_total{src="C:\\\\temp"} 1' in text.splitlines()
+
+    def test_newline_is_escaped(self):
+        text = self._render_with_label("line1\nline2")
+        assert 'events_total{src="line1\\nline2"} 1' in text.splitlines()
+        # the series must still be one physical line
+        assert all("events_total" not in line or "line2" in line
+                   for line in text.splitlines() if "line1" in line)
+
+    def test_backslash_before_quote_stays_unambiguous(self):
+        # \" in the input must render as \\\" (escaped backslash, then
+        # escaped quote) — escaping order matters
+        text = self._render_with_label('\\"')
+        assert 'events_total{src="\\\\\\""} 1' in text.splitlines()
+
+    def test_plain_values_unchanged(self):
+        text = self._render_with_label("fast")
+        assert 'events_total{src="fast"} 1' in text.splitlines()
+
+
 class TestJsonlRoundTrip:
     def test_metrics_and_spans_roundtrip(self, tmp_path):
         reg = _populated_registry()

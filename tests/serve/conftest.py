@@ -1,0 +1,17 @@
+"""Serving-layer fixtures: the serve modules share the process-wide obs
+registry, so every test starts and ends with it disabled and empty."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.set_enabled(False)
+    obs.reset()
+    obs.RECORDER.clear()
+    yield
+    obs.set_enabled(False)
+    obs.reset()
+    obs.RECORDER.clear()

@@ -1,0 +1,102 @@
+"""The micro-batcher: one kernel invocation per tick, answers
+bit-identical to evaluating each point alone."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import gridkernels
+from repro.serve import MicroBatcher
+from repro.serve.batcher import BATCH_FIELDS
+from repro.serve.queries import QueryError, eval_point_batch
+
+_GROUP = ("merging-symmetric", 256, None, None)
+_POINTS = [
+    {"f": 0.99, "fcon_share": 0.6, "fored_share": 0.8, "r": 32.0},
+    {"f": 0.975, "fcon_share": 0.3, "fored_share": 0.5, "r": 4.0},
+    {"f": 0.5, "fcon_share": 0.9, "fored_share": 0.1, "r": 1.0},
+]
+
+
+class TestBatching:
+    def test_one_tick_one_batch(self):
+        async def scenario():
+            batcher = MicroBatcher()
+            results = await asyncio.gather(*[
+                batcher.submit(_GROUP, p) for p in _POINTS])
+            return batcher, results
+
+        batcher, results = asyncio.run(scenario())
+        assert batcher.batches == 1  # all three rode one grid invocation
+        assert batcher.points == 3
+        assert all(isinstance(s, float) for s in results)
+
+    def test_distinct_signatures_get_distinct_units(self):
+        async def scenario():
+            batcher = MicroBatcher()
+            await asyncio.gather(
+                batcher.submit(_GROUP, _POINTS[0]),
+                batcher.submit(("hm-symmetric", 256, None, None),
+                               {"f": 0.99, "r": 16.0}),
+            )
+            return batcher
+
+        batcher = asyncio.run(scenario())
+        assert batcher.batches == 2 and batcher.points == 2
+
+    def test_batched_answers_bit_identical_to_solo(self):
+        """Batch composition must never change a response: the kernels
+        are elementwise over the point axis."""
+        async def scenario():
+            batcher = MicroBatcher()
+            return await asyncio.gather(*[
+                batcher.submit(_GROUP, p) for p in _POINTS])
+
+        batched = asyncio.run(scenario())
+        for point, got in zip(_POINTS, batched):
+            solo = eval_point_batch(
+                "merging-symmetric", n=256,
+                **{k: [v] for k, v in point.items()})["speedup"][0]
+            assert got == float(solo)  # exact, not approx
+
+    def test_matches_direct_kernel_call(self):
+        direct = gridkernels.merging_symmetric(
+            np.array([p["f"] for p in _POINTS]),
+            np.array([p["fcon_share"] for p in _POINTS]),
+            np.array([p["fored_share"] for p in _POINTS]),
+            256,
+            np.array([p["r"] for p in _POINTS]),
+        )
+
+        async def scenario():
+            batcher = MicroBatcher()
+            return await asyncio.gather(*[
+                batcher.submit(_GROUP, p) for p in _POINTS])
+
+        assert asyncio.run(scenario()) == [float(v) for v in direct]
+
+
+class TestErrors:
+    def test_kernel_error_fans_out_to_every_point(self):
+        async def scenario():
+            batcher = MicroBatcher()
+            bad = {"f": 1.5, "fcon_share": 0.6, "fored_share": 0.8, "r": 32.0}
+            return await asyncio.gather(
+                batcher.submit(_GROUP, bad),
+                batcher.submit(_GROUP, dict(bad)),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(scenario())
+        assert len(results) == 2
+        assert all(isinstance(r, QueryError) for r in results)
+
+
+class TestFields:
+    def test_batch_fields_cover_every_model_parameter(self):
+        from repro.serve.queries import MODELS
+
+        names = {name for spec in MODELS.values()
+                 for name in (*spec["required"], *spec["optional"])}
+        assert names <= set(BATCH_FIELDS)

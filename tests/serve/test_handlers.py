@@ -1,0 +1,210 @@
+"""ServeApp endpoint logic: routing, validation, the LRU tier's
+no-reevaluation guarantee, and report byte-identity with ``repro run``."""
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro import obs
+from repro.core import gridkernels
+from repro.experiments.registry import run_experiment
+from repro.pipeline import memo_info
+from repro.serve import ServeApp
+
+_EVAL_BODY = {"model": "merging-symmetric", "f": 0.99, "fcon_share": 0.6,
+              "fored_share": 0.8, "r": 32}
+
+
+def _request(app, method, path, params=None, body=b""):
+    if isinstance(body, dict):
+        body = json.dumps(body).encode()
+    return asyncio.run(app.handle(method, path, params or {}, body))
+
+
+def _metric_value(name, **labels):
+    for fam in obs.snapshot():
+        if fam["name"] != name:
+            continue
+        for s in fam["series"]:
+            if all(s["labels"].get(k) == v for k, v in labels.items()):
+                return s["value"]
+    return 0.0
+
+
+class TestRouting:
+    def test_healthz(self):
+        status, ctype, payload = _request(ServeApp(), "GET", "/healthz")
+        assert status == 200 and ctype == "application/json"
+        health = json.loads(payload)
+        assert health["status"] == "ok"
+        assert health["lru"]["maxsize"] == 4096
+
+    def test_unknown_route_is_404(self):
+        status, _, payload = _request(ServeApp(), "GET", "/nope")
+        assert status == 404
+        assert "no route" in json.loads(payload)["error"]
+
+    def test_eval_requires_post(self):
+        status, _, _ = _request(ServeApp(), "GET", "/v1/eval")
+        assert status == 405
+
+    def test_bad_json_body_is_400(self):
+        status, _, payload = _request(ServeApp(), "POST", "/v1/eval",
+                                      body=b"{not json")
+        assert status == 400
+        assert "valid JSON" in json.loads(payload)["error"]
+
+    def test_unknown_model_is_400(self):
+        status, _, payload = _request(
+            ServeApp(), "POST", "/v1/eval", body={"model": "nope", "f": 0.9})
+        assert status == 400
+        assert "unknown model" in json.loads(payload)["error"]
+
+    def test_missing_field_is_400(self):
+        status, _, payload = _request(
+            ServeApp(), "POST", "/v1/eval",
+            body={"model": "merging-symmetric", "f": 0.99})
+        assert status == 400
+        assert "fcon_share" in json.loads(payload)["error"]
+
+    def test_unknown_report_is_404(self):
+        status, _, _ = _request(ServeApp(), "GET", "/v1/report/nope")
+        assert status == 404
+
+    def test_experiments_lists_registry(self):
+        status, _, payload = _request(ServeApp(), "GET", "/v1/experiments")
+        assert status == 200
+        ids = [e["id"] for e in json.loads(payload)["experiments"]]
+        assert "fig4" in ids and "table2" in ids
+
+
+class TestEval:
+    def test_point_matches_direct_kernel(self):
+        status, _, payload = _request(ServeApp(), "POST", "/v1/eval",
+                                      body=_EVAL_BODY)
+        assert status == 200
+        direct = gridkernels.merging_symmetric(
+            np.array([0.99]), np.array([0.6]), np.array([0.8]), 256,
+            np.array([32.0]))[0]
+        assert json.loads(payload)["speedup"] == float(direct)
+
+    def test_sweep_curve_matches_direct_kernel(self):
+        body = {"model": "hm-symmetric", "n": 64,
+                "points": [{"f": 0.975}]}
+        status, _, payload = _request(ServeApp(), "POST", "/v1/sweep",
+                                      body=body)
+        assert status == 200
+        result = json.loads(payload)
+        from repro.core.merging import power_of_two_sizes
+
+        sizes = power_of_two_sizes(64)
+        direct = gridkernels.hm_symmetric(
+            np.array([[0.975]]), 64, sizes[None, :], None)
+        assert result["sizes"] == [float(s) for s in sizes]
+        assert result["speedup"] == [[float(v) for v in direct[0]]]
+
+    def test_optimize_matches_best_search(self):
+        from repro.core.merging import best_asymmetric, best_symmetric
+        from repro.core.params import AppParams
+
+        body = {"points": [{"f": 0.99, "fcon_share": 0.6,
+                            "fored_share": 0.8}]}
+        status, _, payload = _request(ServeApp(), "POST", "/v1/optimize",
+                                      body=body)
+        assert status == 200
+        result = json.loads(payload)
+        params = AppParams(f=0.99, fcon_share=0.6, fored_share=0.8)
+        sym = best_symmetric(params, 256)
+        asym = best_asymmetric(params, 256)
+        assert result["symmetric"]["r"] == [sym.r]
+        assert result["symmetric"]["speedup"] == [sym.speedup]
+        assert result["asymmetric"]["rl"] == [asym.rl]
+        assert result["asymmetric"]["speedup"] == [asym.speedup]
+
+
+class TestCacheTier:
+    def test_repeat_query_is_lru_hit_with_no_new_evaluation(self):
+        """The acceptance criterion: a repeated identical query is served
+        from the in-memory tier — hit counter up, executed count flat."""
+        obs.set_enabled(True)
+        app = ServeApp()
+        status, _, first = _request(app, "POST", "/v1/eval", body=_EVAL_BODY)
+        assert status == 200
+        executed_after_first = memo_info()["executed"]
+        hits_before = app.lru.hits
+
+        status, _, second = _request(app, "POST", "/v1/eval",
+                                     body=dict(_EVAL_BODY))
+        assert status == 200
+        assert second == first  # byte-identical response
+        assert app.lru.hits == hits_before + 1
+        assert memo_info()["executed"] == executed_after_first
+        assert _metric_value("serve_cache_lookups_total",
+                             tier="lru", result="hit") == 1
+
+    def test_concurrent_identical_queries_evaluate_once(self):
+        """N identical in-flight queries coalesce onto one evaluation."""
+        obs.set_enabled(True)
+        app = ServeApp()
+
+        async def scenario():
+            return await asyncio.gather(*[
+                app.eval_point(dict(_EVAL_BODY)) for _ in range(8)])
+
+        results = asyncio.run(scenario())
+        assert all(r == results[0] for r in results)
+        assert app.flight.flights == 1
+        assert app.flight.coalesced == 7
+        assert _metric_value("serve_evaluations_total", kind="point") == 1
+
+    def test_cache_size_zero_disables_the_tier(self):
+        app = ServeApp(cache_size=0)
+        _request(app, "POST", "/v1/eval", body=_EVAL_BODY)
+        _request(app, "POST", "/v1/eval", body=_EVAL_BODY)
+        assert app.lru.hits == 0 and len(app.lru) == 0
+
+
+class TestReports:
+    def test_fig4_render_byte_identical_to_run_experiment(self):
+        status, _, payload = _request(ServeApp(), "GET", "/v1/report/fig4")
+        assert status == 200
+        served = json.loads(payload)
+        direct = run_experiment("fig4")
+        assert served["render"] == direct.render()
+        assert served["all_match"] == direct.all_match
+
+    def test_text_format_returns_the_render_verbatim(self):
+        status, ctype, payload = _request(
+            ServeApp(), "GET", "/v1/report/fig4", params={"format": "text"})
+        assert status == 200 and ctype == "text/plain"
+        assert payload.decode() == run_experiment("fig4").render() + "\n"
+
+    def test_table2_with_options_byte_identical(self):
+        params = {"scale": "0.03", "threads": "1,2"}
+        status, _, payload = _request(
+            ServeApp(), "GET", "/v1/report/table2", params=params)
+        assert status == 200
+        direct = run_experiment("table2", scale=0.03, thread_counts=(1, 2))
+        assert json.loads(payload)["render"] == direct.render()
+
+    def test_repeat_report_is_cached(self):
+        app = ServeApp()
+        _request(app, "GET", "/v1/report/fig4")
+        hits = app.lru.hits
+        _request(app, "GET", "/v1/report/fig4")
+        assert app.lru.hits == hits + 1
+
+
+class TestMetricsEndpoint:
+    def test_metrics_exposition_has_serve_families(self):
+        obs.set_enabled(True)
+        app = ServeApp()
+        _request(app, "POST", "/v1/eval", body=_EVAL_BODY)
+        status, ctype, payload = _request(app, "GET", "/metrics")
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        text = payload.decode()
+        assert "serve_requests_total" in text
+        assert "serve_cache_lookups_total" in text
+        assert "serve_pipeline_tier" in text

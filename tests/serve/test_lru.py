@@ -1,0 +1,58 @@
+"""The bounded response LRU: eviction order, the size bound, counters."""
+
+from repro.serve import LRUCache
+
+
+class TestBound:
+    def test_never_exceeds_maxsize(self):
+        lru = LRUCache(maxsize=3)
+        for i in range(10):
+            lru.put(f"k{i}", i)
+            assert len(lru) <= 3
+        assert len(lru) == 3
+        assert lru.evictions == 7
+
+    def test_evicts_least_recently_used(self):
+        lru = LRUCache(maxsize=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.get("a") == 1  # refresh: "b" is now the LRU entry
+        lru.put("c", 3)
+        assert "b" not in lru
+        assert lru.get("a") == 1 and lru.get("c") == 3
+
+    def test_put_refresh_does_not_evict(self):
+        lru = LRUCache(maxsize=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("a", 10)  # refresh, not insert: both keys survive
+        assert len(lru) == 2 and lru.evictions == 0
+        assert lru.get("a") == 10 and lru.get("b") == 2
+
+
+class TestDisabled:
+    def test_maxsize_zero_disables_caching(self):
+        lru = LRUCache(maxsize=0)
+        lru.put("a", 1)
+        assert len(lru) == 0
+        assert lru.get("a") is None
+        assert lru.misses == 1 and lru.hits == 0
+
+
+class TestCounters:
+    def test_info_shape_and_hit_rate(self):
+        lru = LRUCache(maxsize=4)
+        lru.put("a", 1)
+        lru.get("a")
+        lru.get("missing")
+        info = lru.info()
+        assert info["entries"] == 1 and info["maxsize"] == 4
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["hit_rate"] == 0.5
+
+    def test_clear_keeps_counters(self):
+        lru = LRUCache(maxsize=4)
+        lru.put("a", 1)
+        lru.get("a")
+        lru.clear()
+        assert len(lru) == 0 and lru.hits == 1

@@ -1,0 +1,88 @@
+"""End-to-end over real HTTP: the asyncio server on an ephemeral port,
+driven by ``http.client`` like any other client would."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.serve import BackgroundServer, ServeApp
+
+_EVAL_BODY = {"model": "merging-symmetric", "f": 0.99, "fcon_share": 0.6,
+              "fored_share": 0.8, "r": 32}
+
+
+@pytest.fixture(scope="module")
+def server():
+    with BackgroundServer(ServeApp()) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def conn(server):
+    c = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+    yield c
+    c.close()
+
+
+def _json(conn, method, path, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    headers = {"Content-Type": "application/json"} if data else {}
+    conn.request(method, path, body=data, headers=headers)
+    resp = conn.getresponse()
+    return resp.status, json.loads(resp.read().decode())
+
+
+class TestEndToEnd:
+    def test_healthz(self, conn):
+        status, health = _json(conn, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+
+    def test_eval_round_trip(self, conn):
+        status, result = _json(conn, "POST", "/v1/eval", _EVAL_BODY)
+        assert status == 200
+        assert result["speedup"] == pytest.approx(36.227, abs=1e-3)
+
+    def test_keep_alive_serves_many_requests_per_connection(self, conn):
+        for _ in range(5):
+            status, _ = _json(conn, "POST", "/v1/eval", _EVAL_BODY)
+            assert status == 200
+
+    def test_404_and_connection_survives(self, conn):
+        status, payload = _json(conn, "GET", "/missing")
+        assert status == 404 and "error" in payload
+        status, _ = _json(conn, "GET", "/healthz")
+        assert status == 200  # the 404 did not poison the connection
+
+    def test_metrics_exposition(self, server, conn):
+        conn.request("GET", "/metrics")
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert resp.getheader("Content-Type").startswith("text/plain")
+        resp.read()
+
+    def test_malformed_request_line_gets_400(self, server):
+        import socket
+
+        with socket.create_connection(("127.0.0.1", server.port),
+                                      timeout=10) as sock:
+            sock.sendall(b"garbage\r\n\r\n")
+            data = sock.recv(4096)
+        assert data.startswith(b"HTTP/1.1 400 ")
+
+    def test_connection_close_honoured(self, server):
+        c = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        try:
+            c.request("GET", "/healthz", headers={"Connection": "close"})
+            resp = c.getresponse()
+            assert resp.status == 200
+            assert resp.getheader("Connection") == "close"
+            resp.read()
+        finally:
+            c.close()
+
+    def test_query_params_reach_the_handler(self, conn):
+        status, payload = _json(conn, "GET",
+                                "/v1/report/table2?scale=0.03&threads=1,2")
+        assert status == 200
+        assert payload["options"] == {"scale": 0.03, "thread_counts": [1, 2]}

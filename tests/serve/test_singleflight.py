@@ -1,0 +1,121 @@
+"""Single-flight coalescing: at most one computation per key among
+concurrent callers, later callers compute afresh, errors propagate.
+
+No pytest-asyncio in the toolchain: each test drives its own loop with
+``asyncio.run``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import SingleFlight
+
+
+class TestCoalescing:
+    def test_concurrent_identical_calls_compute_once(self):
+        async def scenario():
+            flight = SingleFlight()
+            calls = 0
+            release = asyncio.Event()
+
+            async def factory():
+                nonlocal calls
+                calls += 1
+                await release.wait()
+                return {"value": 42}
+
+            tasks = [asyncio.ensure_future(flight.do("k", factory))
+                     for _ in range(16)]
+            await asyncio.sleep(0)  # let every caller reach the flight
+            assert flight.inflight() == 1
+            release.set()
+            results = await asyncio.gather(*tasks)
+            return calls, flight, results
+
+        calls, flight, results = asyncio.run(scenario())
+        assert calls == 1
+        assert flight.flights == 1 and flight.coalesced == 15
+        # followers receive the leader's object, not a copy
+        assert all(r is results[0] for r in results)
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            flight = SingleFlight()
+            calls = []
+
+            async def factory(key):
+                calls.append(key)
+                await asyncio.sleep(0)
+                return key
+
+            results = await asyncio.gather(
+                flight.do("a", lambda: factory("a")),
+                flight.do("b", lambda: factory("b")),
+            )
+            return calls, results
+
+        calls, results = asyncio.run(scenario())
+        assert sorted(calls) == ["a", "b"]
+        assert sorted(results) == ["a", "b"]
+
+    def test_sequential_calls_compute_each_time(self):
+        """Single-flight is concurrency de-dup, not memoisation."""
+        async def scenario():
+            flight = SingleFlight()
+            calls = 0
+
+            async def factory():
+                nonlocal calls
+                calls += 1
+                return calls
+
+            first = await flight.do("k", factory)
+            second = await flight.do("k", factory)
+            return first, second, flight
+
+        first, second, flight = asyncio.run(scenario())
+        assert (first, second) == (1, 2)
+        assert flight.flights == 2 and flight.coalesced == 0
+        assert flight.inflight() == 0
+
+
+class TestErrors:
+    def test_leader_error_reaches_every_follower(self):
+        async def scenario():
+            flight = SingleFlight()
+            release = asyncio.Event()
+
+            async def factory():
+                await release.wait()
+                raise RuntimeError("kernel blew up")
+
+            tasks = [asyncio.ensure_future(flight.do("k", factory))
+                     for _ in range(4)]
+            await asyncio.sleep(0)
+            release.set()
+            return await asyncio.gather(*tasks, return_exceptions=True), flight
+
+        results, flight = asyncio.run(scenario())
+        assert len(results) == 4
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert flight.inflight() == 0  # the failed key is released
+
+    def test_failed_flight_releases_key_for_retry(self):
+        async def scenario():
+            flight = SingleFlight()
+            attempts = 0
+
+            async def factory():
+                nonlocal attempts
+                attempts += 1
+                if attempts == 1:
+                    raise ValueError("transient")
+                return "ok"
+
+            with pytest.raises(ValueError):
+                await flight.do("k", factory)
+            return await flight.do("k", factory), attempts
+
+        result, attempts = asyncio.run(scenario())
+        assert result == "ok" and attempts == 2
