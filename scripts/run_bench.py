@@ -28,7 +28,10 @@ instrumented sweep and writes its ``repro.obs`` metrics + spans as
 JSONL (readable with ``repro stats``).  ``--fuzz-iters N`` first runs N
 seeded random trace programs (``tests.differential.gen``) through all
 three simulator engines and asserts cycle-identity — a fast
-correctness screen before trusting the perf numbers.
+correctness screen before trusting the perf numbers.  ``--distributed``
+additionally times one fixed sweep batch executed by 1 and then 2
+``repro worker`` subprocesses over localhost (the remote backend's
+worker-count scaling), recorded under the report's ``distributed`` key.
 """
 
 from __future__ import annotations
@@ -252,6 +255,70 @@ def time_runall_precompute() -> dict:
     }
 
 
+def time_distributed(worker_counts=(1, 2)) -> dict:
+    """Worker-count scaling for the remote execution backend.
+
+    One fixed table2 sweep batch, executed by N real ``repro worker``
+    subprocesses over localhost sockets (protocol, pickling and framing
+    costs included), against the same units executed inline — the number
+    that says what adding workers actually buys at this unit size.
+    """
+    from repro.engine.events import EventLog
+    from repro.engine.remote import RemotePool
+    from repro.engine.units import execute
+    from repro.experiments.registry import declare_units
+
+    options = dict(scale=0.2, thread_counts=(1, 2, 4))
+    units = list({u.key: u for u in
+                  declare_units("table2", **options)}.values())
+
+    t0 = time.perf_counter()
+    for u in units:
+        execute(u.kind, u.spec)
+    serial_s = time.perf_counter() - t0
+
+    out = {"units": len(units), "serial_seconds": round(serial_s, 4),
+           "workers": {}}
+    env = {**os.environ, "PYTHONPATH": str(SRC)}
+    for n in worker_counts:
+        events = EventLog()
+        pool = RemotePool("127.0.0.1:0", lease_timeout=600.0, events=events)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker", "--connect",
+                 pool.address, "--name", f"bench-w{i}", "--retry-for", "60"],
+                env=env, cwd=REPO,
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            )
+            for i in range(n)
+        ]
+        try:
+            # time the execution, not the workers' interpreter startup:
+            # the clock starts once all N workers are connected
+            deadline = time.monotonic() + 60
+            while (events.count("worker_connected") < n
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            t0 = time.perf_counter()
+            results = pool.run(units)
+            dt = time.perf_counter() - t0
+        finally:
+            pool.close()
+            for p in procs:
+                p.terminate()
+            for p in procs:
+                try:
+                    p.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    p.kill()
+        assert len(results) == len(units)
+        out["workers"][str(n)] = {
+            "seconds": round(dt, 4),
+            "speedup_vs_serial": round(serial_s / dt, 2) if dt else None,
+        }
+    return out
+
+
 def run_serve_bench(output: Path, duration: float,
                     check_against: "Path | None") -> "tuple[dict, list]":
     """The serve load benchmark via ``run_loadgen`` (same interpreter);
@@ -292,6 +359,9 @@ def main(argv: "list[str] | None" = None) -> int:
                          "(writes BENCH_serve.json)")
     ap.add_argument("--serve-output", default=str(REPO / "BENCH_serve.json"))
     ap.add_argument("--serve-duration", type=float, default=8.0)
+    ap.add_argument("--distributed", action="store_true",
+                    help="also time a sweep batch on 1 vs 2 remote "
+                         "'repro worker' subprocesses (worker-count scaling)")
     args = ap.parse_args(argv)
 
     sys.path.insert(0, str(SRC))
@@ -336,6 +406,8 @@ def main(argv: "list[str] | None" = None) -> int:
     }
     if fuzz is not None:
         report["differential_fuzz"] = fuzz
+    if args.distributed:
+        report["distributed"] = time_distributed()
 
     serve_failures: list = []
     if args.serve:
@@ -370,6 +442,14 @@ def main(argv: "list[str] | None" = None) -> int:
     print(f"  runall precompute        {rp['declared_units']} units -> "
           f"{rp['unique_units']} unique (dedup {rp['dedup_ratio']}x); "
           f"cold {rp['cold_seconds']}s -> warm {rp['disk_warm_seconds']}s")
+
+    if "distributed" in report:
+        dist = report["distributed"]
+        per_n = ", ".join(
+            f"{n}w {w['seconds']}s ({w['speedup_vs_serial']}x)"
+            for n, w in sorted(dist["workers"].items()))
+        print(f"  distributed              {dist['units']} units, serial "
+              f"{dist['serial_seconds']}s; {per_n}")
 
     if "serve" in report:
         sv = report["serve"]

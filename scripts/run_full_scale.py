@@ -15,6 +15,11 @@ globally deduplicated (Table II and Fig 2 share their entire sweep), and
 the misses execute concurrently; the reports are byte-identical to a
 serial run.  See docs/engine.md.
 
+``--listen HOST:PORT`` executes the sweeps on *remote* workers instead:
+start ``repro worker --connect HOST:PORT`` on as many machines as you
+like (see the "Distributed execution" section of docs/engine.md) — this
+is the intended path for the full-scale design-space grid.
+
 Run:  python scripts/run_full_scale.py [--threads 1,2,4,8,16] [--parallel 8]
 """
 
@@ -36,14 +41,23 @@ def main() -> int:
                         help="run the sweeps on N engine worker processes")
     parser.add_argument("--event-log", default=None, metavar="PATH",
                         help="with --parallel: append engine events as JSONL")
+    parser.add_argument("--listen", default=None, metavar="HOST:PORT",
+                        help="execute sweeps on remote 'repro worker' "
+                             "processes instead of local ones")
+    parser.add_argument("--worker-timeout", type=float, default=None,
+                        metavar="S",
+                        help="with --listen: serial fallback when no worker "
+                             "connects within S seconds")
     args = parser.parse_args()
     threads = tuple(int(t) for t in args.threads.split(","))
     options = dict(scale=1.0, thread_counts=threads, mem_scale=args.mem_scale)
 
-    if args.parallel is not None:
+    if args.parallel is not None or args.listen is not None:
         from repro import engine
 
-        context = engine.session(args.parallel, event_log=args.event_log)
+        context = engine.session(args.parallel or 1, event_log=args.event_log,
+                                 listen=args.listen,
+                                 worker_timeout=args.worker_timeout)
     else:
         context = contextlib.nullcontext(None)
 
@@ -51,6 +65,10 @@ def main() -> int:
         if sess is not None:
             from repro.engine import precompute
 
+            if sess.remote_address:
+                print(f"[coordinator listening on {sess.remote_address}; "
+                      f"join with: repro worker --connect "
+                      f"{sess.remote_address}]", flush=True)
             t0 = time.time()
             n = precompute(sess, ("table2", "fig2"), options)
             print(f"[precomputed {n} declared units in {time.time() - t0:.0f}s; "

@@ -35,6 +35,12 @@ Subcommands
     point/sweep evaluation of Eqs 1–8, optimal-(r, rl) search, and
     paper-report endpoints over the pipeline's cache tiers, with
     ``/metrics`` (Prometheus) and ``/healthz``.  See ``docs/serving.md``.
+``worker --connect HOST:PORT [--name N] [--retry-for S]``
+    Join a coordinator started with ``run``/``runall --listen`` as a
+    remote execution worker: lease work units over the socket protocol
+    of :mod:`repro.engine.remote`, execute them via the executor
+    registry, stream results (and observability deltas) back.  See the
+    "Distributed execution" section of ``docs/engine.md``.
 """
 
 from __future__ import annotations
@@ -123,6 +129,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resume a journaled run: replay its journal as "
                             "the first cache tier and re-execute only what "
                             "had not settled")
+    run_p.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="execute units on remote workers: bind the "
+                            "coordinator socket and wait for 'repro worker "
+                            "--connect' processes (port 0 picks a free one)")
+    run_p.add_argument("--worker-timeout", type=float, default=None,
+                       metavar="S",
+                       help="with --listen: fall back to in-process serial "
+                            "execution when no worker connects within S "
+                            "seconds (default: wait indefinitely)")
+    run_p.add_argument("--lease-timeout", type=float, default=600.0,
+                       metavar="S",
+                       help="with --listen: re-issue a unit whose worker "
+                            "has not reported back within S seconds "
+                            "(default: 600)")
 
     runall_p = sub.add_parser(
         "runall",
@@ -152,6 +172,18 @@ def build_parser() -> argparse.ArgumentParser:
     runall_p.add_argument("--resume", default=None, metavar="ID",
                           help="resume a journaled runall (restores options "
                                "from the run's manifest)")
+    runall_p.add_argument("--listen", default=None, metavar="HOST:PORT",
+                          help="execute units on remote workers (see "
+                               "'run --listen')")
+    runall_p.add_argument("--worker-timeout", type=float, default=None,
+                          metavar="S",
+                          help="with --listen: serial fallback when no "
+                               "worker connects within S seconds")
+    runall_p.add_argument("--lease-timeout", type=float, default=600.0,
+                          metavar="S",
+                          help="with --listen: re-issue a unit whose "
+                               "worker has not reported back within S "
+                               "seconds (default: 600)")
 
     pred = sub.add_parser("predict", help="speedup prediction for custom parameters")
     pred.add_argument("--f", type=float, required=True, help="parallel fraction")
@@ -210,6 +242,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--no-metrics", action="store_true",
                          help="leave observability off (/metrics will be "
                               "empty; saves the instrumentation branch)")
+    serve_p.add_argument("--idle-timeout", type=float, default=30.0,
+                         metavar="S",
+                         help="close a keep-alive connection after S seconds "
+                              "without a complete request (default 30)")
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="join a 'run/runall --listen' coordinator as a remote worker",
+    )
+    worker_p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="the coordinator address printed by --listen")
+    worker_p.add_argument("--name", default=None,
+                          help="worker name on the coordinator's event "
+                               "stream (default: hostname-pid)")
+    worker_p.add_argument("--retry-for", type=float, default=30.0,
+                          metavar="S",
+                          help="keep reconnecting/idling for S seconds after "
+                               "the last successful lease before exiting "
+                               "(default 30; survives coordinator restarts)")
+    worker_p.add_argument("--import", dest="imports", action="append",
+                          default=[], metavar="MODULE",
+                          help="import MODULE before serving (registers "
+                               "extra unit executors); repeatable")
+    worker_p.add_argument("--max-units", type=int, default=None, metavar="N",
+                          help="exit after executing N units (for tests)")
+    worker_p.add_argument("--chaos-net", default=None, metavar="SPEC",
+                          help="inject network faults, e.g. "
+                               "'drop=0,duplicate=2,delay=0.5' (see "
+                               "repro.engine.chaos.NetChaos)")
 
     diff_p = sub.add_parser(
         "diff", help="compare two stored JSON reports of the same experiment"
@@ -319,7 +380,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         obs.set_enabled(True)
         os.environ["REPRO_OBS"] = "1"  # reach any spawned engine workers
     return serve_server.run(ServeApp(cache_size=args.cache_size),
-                            host=args.host, port=args.port)
+                            host=args.host, port=args.port,
+                            idle_timeout=args.idle_timeout)
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.engine.chaos import NetChaos
+    from repro.engine.remote import run_worker
+
+    net_chaos = NetChaos.parse(args.chaos_net) if args.chaos_net else None
+    return run_worker(
+        args.connect,
+        name=args.name,
+        retry_for=args.retry_for,
+        imports=args.imports,
+        max_units=args.max_units,
+        net_chaos=net_chaos,
+    )
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -357,9 +434,12 @@ def _resolve_run(args: argparse.Namespace, options: dict) -> "str | None":
     resume = getattr(args, "resume", None)
     run_id = resume or getattr(args, "run_id", None)
     if resume:
-        from repro.engine import read_manifest, run_path
+        from repro.engine import read_manifest, resolve_run_dir
 
-        manifest = read_manifest(run_path(resume)) or {}
+        # refuses to resume a run it cannot find (raises FileNotFoundError
+        # with a hint) instead of silently opening a fresh journal — the
+        # runs root is CWD-relative unless REPRO_RUNS_DIR is set
+        manifest = read_manifest(resolve_run_dir(resume)) or {}
         if getattr(args, "experiment", None) is None:
             args.experiment = manifest.get("experiment")
         for k, v in (manifest.get("options") or {}).items():
@@ -369,10 +449,13 @@ def _resolve_run(args: argparse.Namespace, options: dict) -> "str | None":
 
 def _write_run_manifest(run_id: str, command: str, experiment: str,
                         options: dict) -> None:
-    from repro.engine import run_path, write_manifest
+    from repro.engine import run_path, runs_root, write_manifest
 
     write_manifest(run_path(run_id, create=True), {
         "command": command, "experiment": experiment, "options": options,
+        # absolute, so a resume attempt from the wrong CWD can be told
+        # where the run actually lives (see journal.resolve_run_dir)
+        "runs_root": str(runs_root().resolve()),
     })
 
 
@@ -385,13 +468,24 @@ def _engine_context(args: argparse.Namespace, run_id: "str | None" = None):
     pool — deterministic settle order, byte-identical reports.
     """
     parallel = getattr(args, "parallel", None)
-    if parallel is None and run_id is None:
+    listen = getattr(args, "listen", None)
+    if parallel is None and run_id is None and listen is None:
         return contextlib.nullcontext(None)
     from repro import engine
 
     return engine.session(parallel if parallel is not None else 1,
                           event_log=args.event_log, run_id=run_id,
-                          drain_signals=True)
+                          drain_signals=True, listen=listen,
+                          worker_timeout=getattr(args, "worker_timeout", None),
+                          lease_timeout=getattr(args, "lease_timeout", 600.0))
+
+
+def _announce_listener(sess) -> None:
+    """Tell the operator where remote workers should connect."""
+    address = getattr(sess, "remote_address", None)
+    if address:
+        print(f"[coordinator listening on {address}; join with: "
+              f"repro worker --connect {address}]", file=sys.stderr)
 
 
 def _interrupted_exit(exc, run_id: "str | None") -> int:
@@ -447,7 +541,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         simsweep.set_disk_store(None)
     options = _gather_options(args)
-    run_id = _resolve_run(args, options)
+    try:
+        run_id = _resolve_run(args, options)
+    except FileNotFoundError as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
     if args.experiment is None:
         print("run: an experiment id is required (or --resume a run whose "
               "manifest records one)", file=sys.stderr)
@@ -459,6 +557,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if sess is not None:
             from repro.engine import RunInterrupted, precompute
 
+            _announce_listener(sess)
             try:
                 precompute(sess, ids, options)
                 failed = _print_reports(ids, args, options)
@@ -478,13 +577,21 @@ def _cmd_runall(args: argparse.Namespace) -> int:
     from repro import engine
 
     options = _gather_options(args)
-    run_id = _resolve_run(args, options)
+    try:
+        run_id = _resolve_run(args, options)
+    except FileNotFoundError as exc:
+        print(f"runall: {exc}", file=sys.stderr)
+        return 2
     ids = _all_experiment_ids()
     with _metrics_context(args), \
             engine.session(args.parallel, event_log=args.event_log,
-                           run_id=run_id, drain_signals=True) as sess:
+                           run_id=run_id, drain_signals=True,
+                           listen=args.listen,
+                           worker_timeout=args.worker_timeout,
+                           lease_timeout=args.lease_timeout) as sess:
         if run_id is not None:
             _write_run_manifest(run_id, "runall", "all", options)
+        _announce_listener(sess)
         try:
             engine.precompute(sess, ids, options)
             failed = _print_reports(ids, args, options)
@@ -600,6 +707,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cmd_stats(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "diff":
         from repro.experiments.diffing import diff_reports
         from repro.experiments.store import load_report

@@ -23,7 +23,12 @@ that parallelizes experiment execution end to end while keeping reports
   gracefully (:class:`~repro.engine.pool.RunInterrupted` carries a
   resume hint), and ``--resume`` replays the journal as a cache tier
   ahead of the sweep store — proven by the fault-injection harness in
-  :mod:`repro.engine.chaos`.
+  :mod:`repro.engine.chaos`;
+* execution is **location-transparent**: ``--listen`` swaps the process
+  pool for the :class:`~repro.engine.remote.RemotePool`, whose workers
+  (``repro worker --connect``) lease units over a socket protocol with
+  journal-before-acknowledge durability and at-most-once settle — the
+  same byte-identity and resume guarantees across machines.
 
 Typical use is via the CLI (``repro run <id> --parallel N``,
 ``repro runall``) or::
@@ -40,7 +45,9 @@ from repro.engine.journal import (
     RunJournal,
     new_run_id,
     read_manifest,
+    resolve_run_dir,
     run_path,
+    runs_root,
     write_manifest,
 )
 from repro.engine.pool import (
@@ -78,7 +85,9 @@ __all__ = [
     "precompute",
     "read_manifest",
     "register_executor",
+    "resolve_run_dir",
     "run_path",
+    "runs_root",
     "session",
     "write_manifest",
 ]

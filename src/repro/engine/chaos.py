@@ -26,7 +26,13 @@ Injectors
   in a subprocess's environment makes
   :func:`maybe_kill_on_settle` SIGKILL the whole process immediately
   after the *n*-th journal record is durable, which is the harshest
-  possible interruption point the resume path must recover from.
+  possible interruption point the resume path must recover from;
+* **network faults** — :class:`NetChaos` plans per-result misbehaviour
+  for a remote worker (:mod:`repro.engine.remote`): dropped result
+  frames (the lease must expire and be re-issued), duplicated frames
+  (the coordinator must dedupe by unit key), torn frames (half a frame
+  then a dead connection) and delayed sends (slow workers).  Workers
+  take it via ``repro worker --chaos-net SPEC``.
 
 Everything takes an explicit seed (:class:`Chaos` wraps
 ``random.Random``) so a failing chaos scenario replays exactly.
@@ -46,6 +52,7 @@ from repro.engine.units import register_executor
 __all__ = [
     "Chaos",
     "FlakyStore",
+    "NetChaos",
     "KILL_AT_SETTLE_ENV",
     "corrupt_file",
     "truncate_tail",
@@ -175,6 +182,82 @@ class FlakyStore:
     @property
     def root(self):
         return self.inner.root
+
+
+# ── network faults (remote worker protocol) ────────────────────────────────
+
+
+class NetChaos:
+    """A per-result misbehaviour plan for a remote worker.
+
+    The worker loop in :func:`repro.engine.remote.run_worker` consults
+    :meth:`plan` with the 0-based index of each result it is about to
+    send and obeys the returned ``(action, delay_s)``:
+
+    ``"send"``
+        behave normally (after sleeping ``delay_s``);
+    ``"drop"``
+        never send the result — the coordinator's lease must expire and
+        the unit be re-issued;
+    ``"duplicate"``
+        send the result frame twice — the coordinator must settle once
+        and flag the second as a :``duplicate_settle``;
+    ``"torn"``
+        send only the first half of the frame and drop the connection —
+        the coordinator must treat the torn frame as a disconnect, not a
+        result.
+
+    Index sets can be given explicitly, or drawn from a seed via
+    :meth:`seeded`.  :meth:`parse` reads the CLI form used by
+    ``repro worker --chaos-net``, e.g. ``"drop=0,duplicate=2,delay=0.5"``
+    (comma-separated ``action=index`` pairs; ``delay`` takes seconds and
+    applies to every send).
+    """
+
+    def __init__(self, *, drop: "Iterable[int]" = (),
+                 duplicate: "Iterable[int]" = (),
+                 torn: "Iterable[int]" = (), delay_s: float = 0.0):
+        self.drop = set(drop)
+        self.duplicate = set(duplicate)
+        self.torn = set(torn)
+        self.delay_s = float(delay_s)
+
+    def plan(self, index: int) -> "tuple[str, float]":
+        if index in self.torn:
+            return "torn", self.delay_s
+        if index in self.drop:
+            return "drop", self.delay_s
+        if index in self.duplicate:
+            return "duplicate", self.delay_s
+        return "send", self.delay_s
+
+    @classmethod
+    def seeded(cls, seed: int, n_results: int, *, n_drop: int = 1,
+               n_duplicate: int = 1, delay_s: float = 0.0) -> "NetChaos":
+        """Victim indices drawn deterministically from ``seed``."""
+        chaos = Chaos(seed)
+        drop = chaos.indices(n_results, n_drop)
+        remaining = [i for i in range(n_results) if i not in drop]
+        dup = {remaining[i] for i in
+               chaos.indices(len(remaining), n_duplicate)} if remaining else set()
+        return cls(drop=drop, duplicate=dup, delay_s=delay_s)
+
+    @classmethod
+    def parse(cls, spec: str) -> "NetChaos":
+        """Build a plan from the CLI form ``action=value[,action=value...]``."""
+        kwargs = {"drop": set(), "duplicate": set(), "torn": set()}
+        delay = 0.0
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            action, _, value = part.partition("=")
+            if action == "delay":
+                delay = float(value)
+            elif action in kwargs:
+                kwargs[action].add(int(value))
+            else:
+                raise ValueError(
+                    f"unknown chaos-net action {action!r}; "
+                    "expected drop|duplicate|torn|delay")
+        return cls(delay_s=delay, **kwargs)
 
 
 # ── parent-process death ───────────────────────────────────────────────────

@@ -38,7 +38,8 @@ _EVENTS = obs.counter("engine_events_total", "engine events emitted",
 _WARN_KINDS = frozenset({
     "worker_crashed", "unit_timeout", "unit_retry", "serial_fallback",
     "cache_put_failed", "journal_write_failed", "drain_started",
-    "run_interrupted",
+    "run_interrupted", "lease_expired", "worker_disconnected",
+    "duplicate_settle",
 })
 
 

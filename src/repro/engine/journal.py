@@ -53,6 +53,7 @@ __all__ = [
     "RunJournal",
     "runs_root",
     "run_path",
+    "resolve_run_dir",
     "new_run_id",
     "read_manifest",
     "write_manifest",
@@ -94,6 +95,30 @@ def run_path(run_id: str, *, root: "str | Path | None" = None,
     if create:
         path.mkdir(parents=True, exist_ok=True)
     return path
+
+
+def resolve_run_dir(run_id: str, *, root: "str | Path | None" = None) -> Path:
+    """The *existing* directory for ``run_id``, for ``--resume``.
+
+    ``runs_root()`` is CWD-relative unless ``REPRO_RUNS_DIR`` is set, so
+    resuming from a different working directory used to silently open a
+    *fresh* journal and re-execute everything.  This resolver refuses to
+    guess: when the run directory (or any trace of the run — manifest or
+    journal) is missing it raises :class:`FileNotFoundError` with a hint
+    naming the root that was searched and how to point at the right one.
+    """
+    path = run_path(run_id, root=root)
+    if path.is_dir() and (
+        (path / _MANIFEST_NAME).exists() or (path / "journal.jsonl").exists()
+    ):
+        return path
+    raise FileNotFoundError(
+        f"no run directory for {run_id!r} under {path.parent.resolve()}.\n"
+        "hint: the runs root is resolved relative to the current working "
+        "directory unless REPRO_RUNS_DIR is set — rerun from the directory "
+        "the run was started in, or set REPRO_RUNS_DIR to the absolute "
+        "runs root recorded in the run's manifest (`runs_root` field)."
+    )
 
 
 def write_manifest(run_dir: "str | Path", manifest: dict) -> Path:

@@ -484,10 +484,15 @@ class WorkerPool:
                         if s.unit is not None and s.unit.key not in results
                     )
                     if not in_flight or time.monotonic() > drain_deadline:
-                        pending = len(by_key) - len(results) - len(in_flight)
+                        # a retry parked in the delayed queue is every bit as
+                        # abandoned as an in-flight unit: it was dispatched,
+                        # failed, and will never be retried now
+                        parked = {k for _, k in delayed if k not in results}
+                        abandoned = sorted(set(in_flight) | parked)
+                        pending = len(by_key) - len(results) - len(abandoned)
                         raise RunInterrupted(
                             "stop requested", settled=len(results),
-                            abandoned=in_flight, pending=pending,
+                            abandoned=abandoned, pending=pending,
                         )
                 # detect dead workers and expired deadlines
                 now = time.monotonic()

@@ -82,6 +82,9 @@ class EngineSession:
         journal: "RunJournal | None" = None,
         run_id: "str | None" = None,
         drain_grace: float = 10.0,
+        listen: "str | None" = None,
+        lease_timeout: "float | None" = 600.0,
+        worker_timeout: "float | None" = None,
     ):
         self.n_workers = default_workers() if n_workers is None else max(1, int(n_workers))
         self.unit_timeout = unit_timeout
@@ -90,6 +93,9 @@ class EngineSession:
         self.max_backoff = max_backoff
         self.start_method = start_method
         self.drain_grace = drain_grace
+        self.listen = listen
+        self.lease_timeout = lease_timeout
+        self.worker_timeout = worker_timeout
         self.events = events if events is not None else EventLog()
         self.journal = journal
         self.run_id = run_id if run_id is not None else (
@@ -98,9 +104,15 @@ class EngineSession:
             journal.on_error = self._on_journal_error
         self.stats = {"units": 0, "deduped": 0, "journal_hits": 0,
                       "cache_hits": 0, "executed": 0}
-        self._pool: "WorkerPool | SerialPool | None" = None
+        self._pool = None
         self._stop = threading.Event()
         self._stop_reason: "str | None" = None
+        self.remote_address: "str | None" = None
+        if self.listen is not None and not _serial_forced():
+            # bind eagerly so `repro worker --connect` has somewhere to go
+            # before the first batch is dispatched
+            self._pool = self._make_remote_pool()
+            self.remote_address = self._pool.address
 
     # ── graceful shutdown ─────────────────────────────────────────────────
 
@@ -129,7 +141,24 @@ class EngineSession:
 
     # ── pool management ───────────────────────────────────────────────────
 
+    def _make_remote_pool(self):
+        from repro.engine.remote import RemotePool
+
+        return RemotePool(
+            self.listen,
+            lease_timeout=self.lease_timeout,
+            max_retries=self.max_retries,
+            backoff=self.backoff,
+            max_backoff=self.max_backoff,
+            events=self.events,
+            should_stop=self._stop.is_set,
+            drain_grace=self.drain_grace,
+            worker_timeout=self.worker_timeout,
+        )
+
     def _make_pool(self) -> "WorkerPool | SerialPool":
+        if self.listen is not None and not _serial_forced():
+            return self._make_remote_pool()
         if self.n_workers <= 1 or _serial_forced():
             reason = ("REPRO_ENGINE_SERIAL is set" if _serial_forced()
                       else "single worker requested")

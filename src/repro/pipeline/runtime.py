@@ -9,9 +9,12 @@ same tier order everywhere:
 2. the on-disk :class:`~repro.experiments.store.SweepStore` — for
    disk-cacheable kinds only (``WorkUnit.cacheable``);
 3. the ambient engine session, when one is installed — misses run on
-   the worker pool, journaled write-ahead, and parallel resolution stays
-   byte-identical to serial because callers rebuild outputs in their own
-   iteration order;
+   the worker pool (local processes, or remote ``repro worker``
+   processes when the session listens via
+   :class:`~repro.engine.remote.RemotePool` — the tier order is
+   backend-agnostic), journaled write-ahead, and parallel resolution
+   stays byte-identical to serial because callers rebuild outputs in
+   their own iteration order;
 4. inline execution in this process, when no session is installed.
 
 :func:`cache_get` / :func:`cache_put` are the scheduler hooks

@@ -66,7 +66,7 @@ async def _read_request(reader: asyncio.StreamReader):
         raise ValueError("request headers too large")
     lines = header_blob.decode("latin-1").split("\r\n")
     try:
-        method, target, _version = lines[0].split(" ", 2)
+        method, target, version = lines[0].split(" ", 2)
     except ValueError:
         raise ValueError(f"malformed request line {lines[0]!r}") from None
     headers = {}
@@ -82,16 +82,33 @@ async def _read_request(reader: asyncio.StreamReader):
     if length > _MAX_BODY_BYTES:
         raise ValueError("request body too large")
     body = await reader.readexactly(length) if length else b""
-    keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+    # HTTP/1.0 connections default to close; only 1.1 defaults to keep-alive
+    default = "close" if version.strip().upper() == "HTTP/1.0" else "keep-alive"
+    keep_alive = headers.get("connection", default).lower() != "close"
     return method.upper(), path, params, body, keep_alive
 
 
 async def _handle_connection(app: ServeApp, reader: asyncio.StreamReader,
-                             writer: asyncio.StreamWriter) -> None:
+                             writer: asyncio.StreamWriter,
+                             idle_timeout: "float | None" = None) -> None:
     try:
         while True:
             try:
-                request = await _read_request(reader)
+                # the idle deadline covers the whole read: a client that
+                # never sends, or stalls mid-header/mid-body (slowloris),
+                # cannot hold the connection task forever
+                if idle_timeout is not None:
+                    request = await asyncio.wait_for(_read_request(reader),
+                                                     timeout=idle_timeout)
+                else:
+                    request = await _read_request(reader)
+            except asyncio.TimeoutError:
+                writer.write(_response_bytes(
+                    408, "application/json",
+                    (json.dumps({"error": "idle timeout"}) + "\n").encode(),
+                    False))
+                await writer.drain()
+                return
             except (ValueError, asyncio.IncompleteReadError) as exc:
                 writer.write(_response_bytes(
                     400, "application/json",
@@ -126,12 +143,15 @@ async def serve_forever(
     port: int = 8177,
     ready: "asyncio.Event | None" = None,
     on_bound=None,
+    idle_timeout: "float | None" = 30.0,
 ) -> None:
     """Serve until cancelled.  ``on_bound(host, port)`` (if given) is
-    called with the actual bound address — port 0 picks an ephemeral one."""
+    called with the actual bound address — port 0 picks an ephemeral one.
+    ``idle_timeout`` closes a connection (408) after that many seconds
+    without a complete request; ``None`` disables the deadline."""
     app = app if app is not None else ServeApp()
     server = await asyncio.start_server(
-        lambda r, w: _handle_connection(app, r, w), host, port,
+        lambda r, w: _handle_connection(app, r, w, idle_timeout), host, port,
         limit=_MAX_HEADER_BYTES,
     )
     bound = server.sockets[0].getsockname()
@@ -145,13 +165,14 @@ async def serve_forever(
 
 
 def run(app: "ServeApp | None" = None, host: str = "127.0.0.1",
-        port: int = 8177) -> int:
+        port: int = 8177, idle_timeout: "float | None" = 30.0) -> int:
     """Blocking entry point for the CLI; returns an exit code."""
     try:
         asyncio.run(serve_forever(app, host, port,
                                   on_bound=lambda h, p: print(
                                       f"repro.serve listening on http://{h}:{p}",
-                                      flush=True)))
+                                      flush=True),
+                                  idle_timeout=idle_timeout))
     except KeyboardInterrupt:
         print("serve: shut down")
         return 0
@@ -172,10 +193,12 @@ class BackgroundServer:
     """
 
     def __init__(self, app: "ServeApp | None" = None,
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0,
+                 idle_timeout: "float | None" = 30.0):
         self.app = app if app is not None else ServeApp()
         self.host = host
         self.port = port
+        self.idle_timeout = idle_timeout
         self._loop: "asyncio.AbstractEventLoop | None" = None
         self._thread: "threading.Thread | None" = None
         self._bound = threading.Event()
@@ -191,7 +214,8 @@ class BackgroundServer:
             self._bound.set()
 
         self._task = loop.create_task(serve_forever(
-            self.app, self.host, self.port, on_bound=on_bound))
+            self.app, self.host, self.port, on_bound=on_bound,
+            idle_timeout=self.idle_timeout))
         try:
             loop.run_until_complete(self._task)
         except asyncio.CancelledError:

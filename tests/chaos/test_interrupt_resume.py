@@ -127,7 +127,16 @@ class TestResumeNoop:
         assert ((workdir / "out-a" / "fig4.json").read_bytes()
                 == (workdir / "out-b" / "fig4.json").read_bytes())
 
-    def test_resume_unknown_run_requires_experiment(self, workdir):
+    def test_resume_unknown_run_errors_with_hint(self, workdir):
+        """Resuming a run that does not exist under the resolved runs root
+        must refuse loudly (it used to silently open a fresh journal)."""
         proc = run_cli(["run", "--resume", "never-ran"], workdir)
         assert proc.returncode == 2
-        assert "experiment id is required" in proc.stderr
+        assert "no run directory" in proc.stderr
+        assert "REPRO_RUNS_DIR" in proc.stderr  # the how-to-fix-it hint
+
+    def test_manifest_records_the_absolute_runs_root(self, workdir):
+        manifest = json.loads(
+            (workdir / "runs" / "f1" / "manifest.json").read_text())
+        assert Path(manifest["runs_root"]).is_absolute()
+        assert Path(manifest["runs_root"]) == (workdir / "runs").resolve()

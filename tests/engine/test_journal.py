@@ -8,6 +8,7 @@ from repro.engine.journal import (
     RunJournal,
     new_run_id,
     read_manifest,
+    resolve_run_dir,
     run_path,
     validate_run_id,
     write_manifest,
@@ -156,6 +157,31 @@ class TestRunDirectories:
         assert read_manifest(tmp_path / "nowhere") is None
         (tmp_path / "manifest.json").write_text("{broken")
         assert read_manifest(tmp_path) is None
+
+    def test_resolve_run_dir_finds_a_run_with_a_manifest(self, tmp_path):
+        rd = run_path("r1", root=tmp_path, create=True)
+        write_manifest(rd, {"experiment": "table2"})
+        assert resolve_run_dir("r1", root=tmp_path) == rd
+
+    def test_resolve_run_dir_accepts_a_journal_only_run(self, tmp_path):
+        rd = run_path("r2", root=tmp_path, create=True)
+        with RunJournal(rd / "journal.jsonl", run_id="r2") as j:
+            j.record("k", {"value": 1})
+        assert resolve_run_dir("r2", root=tmp_path) == rd
+
+    def test_resolve_run_dir_refuses_missing_runs_with_a_hint(self, tmp_path):
+        with pytest.raises(FileNotFoundError) as err:
+            resolve_run_dir("never-ran", root=tmp_path)
+        message = str(err.value)
+        assert "never-ran" in message
+        assert "REPRO_RUNS_DIR" in message  # points at the CWD trap
+
+    def test_resolve_run_dir_refuses_an_empty_directory(self, tmp_path):
+        # a bare directory (no manifest, no journal) is not a resumable
+        # run — treating it as one would silently re-execute everything
+        run_path("hollow", root=tmp_path, create=True)
+        with pytest.raises(FileNotFoundError):
+            resolve_run_dir("hollow", root=tmp_path)
 
 
 class TestSessionIntegration:

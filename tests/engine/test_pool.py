@@ -193,6 +193,27 @@ class TestWorkerPool:
         assert exc.settled + len(exc.abandoned) + exc.pending == 8
         assert pool.events.count("drain_started") == 1
 
+    def test_drain_reports_parked_retries_as_abandoned(self, tmp_path):
+        """A retry sitting in the delayed queue when the drain starts must
+        surface in ``RunInterrupted.abandoned`` — it was dispatched and
+        lost, not never-dispatched ``pending`` work."""
+        from repro.engine.chaos import KILL_ONCE
+
+        events = EventLog()
+        victim = WorkUnit(kind=KILL_ONCE, key="victim",
+                          spec=(str(tmp_path / "marker"), 1), label="victim")
+        with WorkerPool(2, unit_timeout=60.0, max_retries=2,
+                        backoff=30.0, max_backoff=30.0,  # retry parks for 30s
+                        events=events,
+                        should_stop=lambda: events.count("unit_retry") > 0,
+                        drain_grace=2.0) as pool:
+            with pytest.raises(RunInterrupted) as exc_info:
+                pool.run([victim]
+                         + [unit("t-echo", f"k{i}", i) for i in range(3)])
+        exc = exc_info.value
+        assert "victim" in exc.abandoned
+        assert exc.settled + len(exc.abandoned) + exc.pending == 4
+
     def test_pool_reusable_after_drain(self):
         stop = {"flag": False}
         with WorkerPool(2, unit_timeout=60.0, backoff=0.01,

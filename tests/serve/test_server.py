@@ -86,3 +86,88 @@ class TestEndToEnd:
                                 "/v1/report/table2?scale=0.03&threads=1,2")
         assert status == 200
         assert payload["options"] == {"scale": 0.03, "thread_counts": [1, 2]}
+
+
+class TestHttp10KeepAliveDefault:
+    """HTTP/1.0 defaults to ``Connection: close``; only 1.1 keeps alive."""
+
+    def _raw(self, server, request: bytes) -> bytes:
+        import socket
+
+        chunks = []
+        with socket.create_connection(("127.0.0.1", server.port),
+                                      timeout=10) as sock:
+            sock.sendall(request)
+            while True:
+                data = sock.recv(4096)
+                if not data:
+                    break
+                chunks.append(data)
+        return b"".join(chunks)
+
+    def test_http10_without_connection_header_closes(self, server):
+        # recv-until-EOF terminates only because the server closes — a
+        # hang here IS the regression (the timeout would trip)
+        response = self._raw(server, b"GET /healthz HTTP/1.0\r\n\r\n")
+        assert b"Connection: close" in response
+
+    def test_http10_explicit_keep_alive_is_honoured(self, server):
+        import socket
+
+        with socket.create_connection(("127.0.0.1", server.port),
+                                      timeout=10) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.0\r\n"
+                         b"Connection: keep-alive\r\n\r\n")
+            first = sock.recv(4096)
+            assert b"Connection: keep-alive" in first
+            # the connection must still serve a second request
+            sock.sendall(b"GET /healthz HTTP/1.0\r\n"
+                         b"Connection: keep-alive\r\n\r\n")
+            assert sock.recv(4096).startswith(b"HTTP/1.1 200 ")
+
+
+class TestIdleTimeout:
+    """A stalled client cannot hold a connection task forever."""
+
+    @pytest.fixture(scope="class")
+    def impatient(self):
+        with BackgroundServer(ServeApp(), idle_timeout=0.5) as srv:
+            yield srv
+
+    def test_silent_connection_is_closed_with_408(self, impatient):
+        import socket
+
+        with socket.create_connection(("127.0.0.1", impatient.port),
+                                      timeout=10) as sock:
+            chunks = []
+            while True:  # never send anything: the server must hang up
+                data = sock.recv(4096)
+                if not data:
+                    break
+                chunks.append(data)
+        assert b"".join(chunks).startswith(b"HTTP/1.1 408 ")
+
+    def test_stall_mid_header_is_also_timed_out(self, impatient):
+        import socket
+
+        with socket.create_connection(("127.0.0.1", impatient.port),
+                                      timeout=10) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\nX-Slow")  # ...and stall
+            chunks = []
+            while True:
+                data = sock.recv(4096)
+                if not data:
+                    break
+                chunks.append(data)
+        assert b"".join(chunks).startswith(b"HTTP/1.1 408 ")
+
+    def test_active_connection_is_untouched(self, impatient):
+        c = http.client.HTTPConnection("127.0.0.1", impatient.port, timeout=10)
+        try:
+            for _ in range(3):
+                c.request("GET", "/healthz")
+                resp = c.getresponse()
+                assert resp.status == 200
+                resp.read()
+        finally:
+            c.close()
