@@ -14,7 +14,7 @@ Usage::
 
     python scripts/run_bench.py [--output BENCH_simx.json] [--quick]
         [--check-against BASELINE] [--metrics-out METRICS.jsonl]
-        [--fuzz-iters N] [--serve]
+        [--fuzz-iters N] [--serve] [--sched]
 
 ``--quick`` trims benchmark rounds for a fast smoke run.
 ``--check-against`` is the CI regression gate: exit non-zero if any
@@ -32,6 +32,12 @@ correctness screen before trusting the perf numbers.  ``--distributed``
 additionally times one fixed sweep batch executed by 1 and then 2
 ``repro worker`` subprocesses over localhost (the remote backend's
 worker-count scaling), recorded under the report's ``distributed`` key.
+``--sched`` additionally measures the scheduler layer: pinned vs
+round-robin dispatch ops/sec on the same seeded corpus (the delta is
+the dispatch layer's cost, since the two schedules coincide) and
+wall-clock timings for 1x..4x oversubscription, recorded under
+``sched``; with ``--check-against``, the pinned rate must stay within
+5% of the baseline's.
 """
 
 from __future__ import annotations
@@ -319,6 +325,101 @@ def time_distributed(worker_counts=(1, 2)) -> dict:
     return out
 
 
+def time_sched(quick: bool = False) -> dict:
+    """Dispatch-layer cost and oversubscription scaling.
+
+    Pinned vs round-robin on the *same* seeded program corpus, both on
+    the reference engine with one thread per core: the round-robin
+    schedule degenerates to the pinned one (see ``tests/sched``), so the
+    ops/sec delta is purely the scheduler layer's dispatch overhead.
+    Then a fixed compute workload at 1x..4x threads per core, timing the
+    wall clock and recording the simulated dispatch accounting.
+    """
+    from dataclasses import replace
+
+    from repro.simx import (
+        Compute,
+        Machine,
+        MachineConfig,
+        ThreadTrace,
+        TraceProgram,
+    )
+
+    sys.path.insert(0, str(REPO))
+    from tests.differential.gen import MIXES, generate_program
+
+    base = replace(MachineConfig.baseline(n_cores=4),
+                   fast_path=False, batch_path=False)
+    n_programs = 8 if quick else 24
+    programs = [generate_program(seed, MIXES[seed % len(MIXES)])
+                for seed in range(n_programs)]
+
+    def rate(cfg):
+        for prog in programs:  # untimed warmup pass
+            Machine(cfg).run(prog)
+        best = None
+        ops = 0
+        for _ in range(1 if quick else 3):
+            ops = 0
+            t0 = time.perf_counter()
+            for prog in programs:
+                ops += Machine(cfg).run(prog).n_ops
+            dt = time.perf_counter() - t0
+            best = dt if best is None or dt < best else best
+        return ops / best
+
+    pinned_rate = rate(base)
+    rr_rate = rate(replace(base, scheduler="round-robin"))
+
+    def wide_program(n_threads, total=240_000):
+        per = max(200, total // n_threads)
+        return TraceProgram(f"wide-{n_threads}", [
+            ThreadTrace(t, [Compute(200)] * (per // 200))
+            for t in range(n_threads)
+        ])
+
+    oversub = {}
+    cfg = replace(base, scheduler="round-robin", quantum=1000,
+                  migration_cost=20)
+    for ratio in (1, 2, 4):
+        prog = wide_program(4 * ratio)
+        t0 = time.perf_counter()
+        res = Machine(cfg).run(prog)
+        oversub[f"{ratio}x"] = {
+            "threads": 4 * ratio,
+            "wall_seconds": round(time.perf_counter() - t0, 4),
+            "simulated_cycles": res.total_cycles,
+            "preemptions": res.sched.preemptions,
+            "migrations": res.sched.migrations,
+        }
+
+    return {
+        "programs": n_programs,
+        "pinned_ops_per_sec": round(pinned_rate, 1),
+        "round_robin_ops_per_sec": round(rr_rate, 1),
+        "dispatch_overhead_x": (round(pinned_rate / rr_rate, 3)
+                                if rr_rate else None),
+        "oversubscription": oversub,
+    }
+
+
+def check_sched_regression(sched: dict, baseline: dict,
+                           threshold: float = 0.05) -> list:
+    """The pinned dispatch rate must stay within ``threshold`` of the
+    committed baseline — the scheduler refactor's "don't slow the
+    paper's path" bar, tighter than the generic 25%% ops/sec gate.
+    Skipped when the baseline predates the ``sched`` section."""
+    old = (baseline or {}).get("sched", {}).get("pinned_ops_per_sec")
+    new = sched.get("pinned_ops_per_sec")
+    if not (old and new):
+        return []
+    drop = 1.0 - new / old
+    if drop > threshold:
+        return [f"pinned dispatch {new:,.0f} ops/s vs baseline "
+                f"{old:,.0f} (-{drop:.0%}, bar is {threshold:.0%})"]
+    return []
+
+
 def run_serve_bench(output: Path, duration: float,
                     check_against: "Path | None") -> "tuple[dict, list]":
     """The serve load benchmark via ``run_loadgen`` (same interpreter);
@@ -362,6 +463,10 @@ def main(argv: "list[str] | None" = None) -> int:
     ap.add_argument("--distributed", action="store_true",
                     help="also time a sweep batch on 1 vs 2 remote "
                          "'repro worker' subprocesses (worker-count scaling)")
+    ap.add_argument("--sched", action="store_true",
+                    help="also measure scheduler-layer dispatch cost "
+                         "(pinned vs round-robin ops/sec) and "
+                         "oversubscription timings")
     args = ap.parse_args(argv)
 
     sys.path.insert(0, str(SRC))
@@ -384,7 +489,7 @@ def main(argv: "list[str] | None" = None) -> int:
     bench_json = run_pytest_benchmarks(args.quick)
     rows = summarise(bench_json)
     report = {
-        "schema": 2,
+        "schema": 3,
         "machine_info": bench_json.get("machine_info", {}).get("cpu", {}),
         "python": bench_json.get("machine_info", {}).get("python_version"),
         "benchmarks": rows,
@@ -408,6 +513,8 @@ def main(argv: "list[str] | None" = None) -> int:
         report["differential_fuzz"] = fuzz
     if args.distributed:
         report["distributed"] = time_distributed()
+    if args.sched:
+        report["sched"] = time_sched(args.quick)
 
     serve_failures: list = []
     if args.serve:
@@ -451,6 +558,16 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"  distributed              {dist['units']} units, serial "
               f"{dist['serial_seconds']}s; {per_n}")
 
+    if "sched" in report:
+        sd = report["sched"]
+        per_ratio = ", ".join(
+            f"{r} {w['wall_seconds']}s/{w['preemptions']}p"
+            for r, w in sorted(sd["oversubscription"].items()))
+        print(f"  sched dispatch           pinned "
+              f"{sd['pinned_ops_per_sec']:,.0f} ops/s, round-robin "
+              f"{sd['round_robin_ops_per_sec']:,.0f} ops/s "
+              f"({sd['dispatch_overhead_x']}x); oversub {per_ratio}")
+
     if "serve" in report:
         sv = report["serve"]
         hit = sv["lru_hit_rate"]
@@ -478,6 +595,14 @@ def main(argv: "list[str] | None" = None) -> int:
     if mg and mg < 5.0:
         print("FAIL: vectorized model grid below the 5x acceptance bar")
         ok = False
+    if baseline is not None and "sched" in report:
+        sched_failures = check_sched_regression(report["sched"], baseline)
+        for f in sched_failures:
+            print(f"FAIL: scheduler regression: {f}")
+        if sched_failures:
+            ok = False
+        else:
+            print("  sched dispatch gate vs baseline: pass (within 5%)")
     if baseline is not None:
         failures = check_regressions(rows, baseline)
         for f in failures:

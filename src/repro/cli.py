@@ -294,6 +294,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="opt into the lockstep batch engine "
                             "(cycle-identical; fastest on private-heavy "
                             "traces; falls back where unsupported)")
+    sim_p.add_argument("--scheduler", choices=["pinned", "round-robin", "acmp"],
+                       default="pinned",
+                       help="thread dispatch policy; non-pinned schedulers "
+                            "time-multiplex and allow more threads than cores")
+    sim_p.add_argument("--quantum", type=int, default=None,
+                       help="preemption quantum in cycles "
+                            "(round-robin/acmp only; default: run to block)")
+    sim_p.add_argument("--migration-cost", type=int, default=0,
+                       help="cycles charged when a thread resumes on a "
+                            "different core (round-robin/acmp only)")
+    sim_p.add_argument("--acmp-policy",
+                       choices=["first-come", "reduction-owns-big",
+                                "migrate-on-phase"],
+                       default="first-come",
+                       help="big-core ownership policy (acmp scheduler only)")
     return parser
 
 
@@ -308,10 +323,14 @@ def _cmd_list(args: argparse.Namespace) -> int:
         for name in sorted(SPECS):
             spec = SPECS[name]
             accepted = accepted_options(spec.assemble)
+            options = sorted(accepted) if accepted is not None else None
             entries.append({
                 "id": name,
                 "description": describe_experiment(name),
-                "options": sorted(accepted) if accepted is not None else None,
+                "options": options,
+                # canonical name, matching repro.pipeline.accepted_options;
+                # "options" stays for older consumers
+                "accepted_options": options,
                 "declares_units": spec.declares_units,
             })
         print(json.dumps(entries, indent=2))
@@ -727,6 +746,10 @@ def main(argv: "list[str] | None" = None) -> int:
             coherence_protocol=args.protocol,
             fast_path=not args.no_fast_path,
             batch_path=args.batch_path,
+            scheduler=args.scheduler,
+            quantum=args.quantum,
+            migration_cost=args.migration_cost,
+            acmp_policy=args.acmp_policy,
         )
         result = Machine(config).run(load_program(args.trace))
         print(result.summary())

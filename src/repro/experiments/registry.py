@@ -16,7 +16,7 @@ from typing import Callable, Mapping
 
 from repro import obs
 from repro.experiments import ablations, conclusions, extensions, falsesharing
-from repro.experiments import locked_reduction, mix_study
+from repro.experiments import locked_reduction, mix_study, scheduler_study
 from repro.experiments import fig1_fig6, fig2, fig3, fig4, fig5, fig7
 from repro.experiments import table1, table2, table3, table4
 from repro.experiments.report import ExperimentReport
@@ -40,7 +40,7 @@ _MODULES = (
     table1, table2, table3, table4,
     fig1_fig6, fig2, fig3, fig4, fig5, fig7,
     ablations, extensions, falsesharing, locked_reduction, mix_study,
-    conclusions,
+    scheduler_study, conclusions,
 )
 
 

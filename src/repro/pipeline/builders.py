@@ -174,6 +174,12 @@ def execute_sim_program(spec: tuple) -> dict:
         "cache_to_cache": int(res.coherence.cache_to_cache),
         "parallel_wait_cycles": int(res.phase_stats.wait_cycles("parallel")),
         "reduction_cycles": int(res.phase_cycles("reduction")),
+        "reduction_wait_cycles": int(res.phase_stats.wait_cycles("reduction")),
+        "reduction_span_cycles": int(res.phase_wall_cycles("reduction")),
+        # dispatch accounting (all zero under the pinned scheduler)
+        "preemptions": int(res.sched.preemptions),
+        "migrations": int(res.sched.migrations),
+        "involuntary_wait_cycles": int(res.sched.involuntary_wait_cycles),
     }
 
 

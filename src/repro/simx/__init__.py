@@ -24,7 +24,15 @@ from repro.simx.batch import supports_batch_path
 from repro.simx.config import CacheConfig, CoreConfig, MachineConfig
 from repro.simx.fastpath import supports_fast_path
 from repro.simx.machine import Machine, SimulationResult
-from repro.simx.stats import PhaseStats
+from repro.simx.sched import (
+    AcmpScheduler,
+    PinnedScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    build_scheduler,
+    supports_scheduling,
+)
+from repro.simx.stats import PhaseStats, SchedStats
 from repro.simx.trace import (
     Barrier,
     Compute,
@@ -55,6 +63,13 @@ __all__ = [
     "Unlock",
     "PhaseBegin",
     "PhaseEnd",
+    "SchedStats",
+    "Scheduler",
+    "PinnedScheduler",
+    "RoundRobinScheduler",
+    "AcmpScheduler",
+    "build_scheduler",
     "supports_batch_path",
     "supports_fast_path",
+    "supports_scheduling",
 ]

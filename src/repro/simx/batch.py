@@ -91,14 +91,19 @@ def supports_batch_path(config: MachineConfig, max_cycles: "int | None" = None) 
     Requires the ``batch_path`` opt-in plus the same order-independence
     gates as :func:`repro.simx.fastpath.supports_fast_path`: no cycle
     watchdog (the eager epochs overshoot it), a stateless interconnect,
-    flat DRAM, and no next-line prefetch.
+    flat DRAM, no next-line prefetch, and pinned dispatch
+    (:func:`repro.simx.sched.supports_scheduling` — lockstep epochs assume
+    one thread per core).
     """
+    from repro.simx.sched import supports_scheduling
+
     return (
         config.batch_path
         and max_cycles is None
         and config.dram == "flat"
         and not config.prefetch_next_line
         and not (config.interconnect == "bus" and config.bus_occupancy > 0)
+        and supports_scheduling(config)
     )
 
 

@@ -142,6 +142,26 @@ class MachineConfig:
     #: as the fast path.  Takes precedence over ``fast_path`` when both
     #: are enabled and supported.
     batch_path: bool = False
+    #: thread-dispatch policy (repro.simx.sched).  "pinned" is the paper's
+    #: one-thread-per-core model (and the only policy the fused engines
+    #: support); "round-robin" time-multiplexes run queues over the cores
+    #: with quantum preemption; "acmp" extends round-robin with a big-core
+    #: ownership policy for asymmetric machines.
+    scheduler: str = "pinned"
+    #: cycles a dispatched thread may run before it can be preempted by a
+    #: ready queued thread (None = run until it blocks).  Only meaningful
+    #: for the time-multiplexing schedulers.
+    quantum: "int | None" = None
+    #: cycles charged when a thread is dispatched on a different core than
+    #: the one it last ran on (cold-start penalty on top of the locality
+    #: it naturally loses by leaving its L1 behind).
+    migration_cost: int = 0
+    #: big-core ownership policy for scheduler="acmp":
+    #: "first-come" (core 0 is just another core), "reduction-owns-big"
+    #: (threads inside a serial/merge phase get dispatch priority for core
+    #: 0 and evict other occupants), "migrate-on-phase" (threads chase the
+    #: big core on serial-phase entry and leave it on exit).
+    acmp_policy: str = "first-come"
 
     def __post_init__(self) -> None:
         check_positive_int(self.n_cores, "n_cores")
@@ -173,6 +193,41 @@ class MachineConfig:
                 )
             if any(f <= 0 for f in self.core_perf_factors):
                 raise ValueError("core_perf_factors must be positive")
+        if self.scheduler not in ("pinned", "round-robin", "acmp"):
+            raise ValueError(
+                f"scheduler must be 'pinned', 'round-robin' or 'acmp', "
+                f"got {self.scheduler!r}"
+            )
+        if self.quantum is not None:
+            check_positive_int(self.quantum, "quantum")
+        if self.migration_cost < 0 or self.migration_cost != int(self.migration_cost):
+            raise ValueError(
+                f"migration_cost must be a non-negative integer, "
+                f"got {self.migration_cost!r}"
+            )
+        if self.acmp_policy not in (
+            "first-come", "reduction-owns-big", "migrate-on-phase"
+        ):
+            raise ValueError(
+                f"acmp_policy must be 'first-come', 'reduction-owns-big' or "
+                f"'migrate-on-phase', got {self.acmp_policy!r}"
+            )
+        if self.scheduler == "pinned":
+            if self.quantum is not None:
+                raise ValueError(
+                    "quantum is only meaningful for the time-multiplexing "
+                    "schedulers; pinned never preempts "
+                    "(set scheduler='round-robin' or 'acmp')"
+                )
+            if self.migration_cost:
+                raise ValueError(
+                    "migration_cost is only meaningful for the "
+                    "time-multiplexing schedulers; pinned never migrates"
+                )
+        if self.acmp_policy != "first-come" and self.scheduler != "acmp":
+            raise ValueError(
+                f"acmp_policy={self.acmp_policy!r} requires scheduler='acmp'"
+            )
 
     @staticmethod
     def baseline(n_cores: int = 16, interconnect: str = "bus") -> "MachineConfig":

@@ -86,14 +86,20 @@ def supports_fast_path(config: MachineConfig, max_cycles: "int | None" = None) -
       transactions in global arrival order;
     * flat DRAM — the banked model's open-row state couples cores;
     * no next-line prefetch — a prefetch crosses into neighbouring lines
-      the privacy analysis did not attribute to this thread.
+      the privacy analysis did not attribute to this thread;
+    * pinned dispatch (:func:`repro.simx.sched.supports_scheduling`) — a
+      time-multiplexing scheduler interleaves threads on shared cores,
+      which fused bursts bypass.
     """
+    from repro.simx.sched import supports_scheduling
+
     return (
         config.fast_path
         and max_cycles is None
         and config.dram == "flat"
         and not config.prefetch_next_line
         and not (config.interconnect == "bus" and config.bus_occupancy > 0)
+        and supports_scheduling(config)
     )
 
 

@@ -1,9 +1,15 @@
-"""The simulated CMP: a discrete-event scheduler over thread traces.
+"""The simulated CMP: a discrete-event engine over thread traces.
 
-The machine advances the runnable thread with the smallest local clock one
-operation at a time — a conservative discrete-event simulation that yields a
-single global order consistent with every thread's program order, so MESI
-state transitions happen in a well-defined sequence.
+The machine advances one thread one operation at a time — a conservative
+discrete-event simulation that yields a single global order consistent with
+every thread's program order, so MESI state transitions happen in a
+well-defined sequence.  *Which* thread advances next, and on which core,
+is delegated to a pluggable scheduler (:mod:`repro.simx.sched`, selected
+by ``MachineConfig.scheduler``): the default ``pinned`` policy is the
+paper's one-thread-per-core model (always advance the runnable thread with
+the smallest local clock), while ``round-robin`` and ``acmp`` time-multiplex
+run queues over the cores with quantum preemption and migration, allowing
+oversubscription (``n_threads > n_cores``).
 
 Synchronisation semantics:
 
@@ -23,21 +29,19 @@ import itertools
 import math
 import time
 from dataclasses import dataclass, field, replace
-from enum import Enum
-from typing import Iterator
 
 from repro import obs
 from repro.simx.coherence import CoherenceController, CoherenceStats
 from repro.simx.config import MachineConfig
 from repro.simx.core_model import CoreModel
 from repro.simx.fastpath import Burst, compile_program, supports_fast_path
-from repro.simx.stats import PhaseStats
+from repro.simx.sched import ThreadContext, ThreadState, build_scheduler
+from repro.simx.stats import PhaseStats, SchedStats
 from repro.simx.trace import (
     Barrier,
     Compute,
     Load,
     Lock,
-    Op,
     PhaseBegin,
     PhaseEnd,
     Store,
@@ -64,6 +68,12 @@ _PHASE_WAIT = obs.counter("simx_phase_wait_cycles_total",
                           "wait cycles attributed per phase", labels=("phase",))
 _RUN_SECONDS = obs.histogram("simx_run_seconds",
                              "wall-clock seconds per simulator run")
+_PREEMPTIONS = obs.counter("simx_preemptions_total",
+                           "involuntary thread context switches")
+_MIGRATIONS = obs.counter("simx_migrations_total",
+                          "thread dispatches onto a different core")
+_SCHED_WAIT = obs.counter("simx_sched_wait_cycles_total",
+                          "cycles runnable threads queued for a core")
 
 
 class DeadlockError(RuntimeError):
@@ -74,27 +84,10 @@ class TraceError(ValueError):
     """A malformed trace: unbalanced phases, unlocking an unheld lock, ..."""
 
 
-class _State(Enum):
-    RUNNABLE = "runnable"
-    AT_BARRIER = "barrier"
-    WAIT_LOCK = "lock"
-    DONE = "done"
-
-
-@dataclass
-class _ThreadCtx:
-    """Scheduler bookkeeping for one thread."""
-
-    tid: int
-    ops: Iterator[Op]
-    clock: int = 0
-    state: _State = _State.RUNNABLE
-    phase_stack: list[str] = field(default_factory=list)
-    held_locks: set[int] = field(default_factory=set)
-    barrier_id: "int | None" = None
-
-    def current_phase(self) -> str:
-        return self.phase_stack[-1] if self.phase_stack else "(unattributed)"
+# thread execution state lives with the scheduler layer now; the old
+# private names remain as aliases for existing imports
+_State = ThreadState
+_ThreadCtx = ThreadContext
 
 
 @dataclass
@@ -110,6 +103,9 @@ class SimulationResult:
     coherence: CoherenceStats
     instructions: tuple[int, ...]
     coherence_by_phase: "dict[str, CoherenceStats]" = field(default_factory=dict)
+    #: dispatch accounting (preemptions, migrations, queue wait); all
+    #: zeros under the pinned scheduler
+    sched: SchedStats = field(default_factory=SchedStats)
     # execution-engine accounting (observability; not part of the timing
     # semantics, so cache keys and golden outputs never depend on them)
     engine: str = "reference"
@@ -159,6 +155,15 @@ class SimulationResult:
                      "upgrades", "writebacks"):
             t2.add_row([name, getattr(c, name)])
         parts.append(t2.render())
+        if self.sched.scheduler != "pinned":
+            t3 = TextTable(
+                title=f"scheduler ({self.sched.scheduler})",
+                columns=["event", "count"],
+            )
+            for name in ("dispatches", "preemptions", "migrations",
+                         "involuntary_wait_cycles"):
+                t3.add_row([name, getattr(self.sched, name)])
+            parts.append(t3.render())
         return "\n\n".join(parts)
 
 
@@ -190,8 +195,9 @@ class Machine:
         ------
         ValueError
             If the program has more threads than the machine has cores
-            (simx does not time-multiplex threads; the paper's runs are
-            one-thread-per-core).
+            under the pinned scheduler (the paper's one-thread-per-core
+            model); configure ``MachineConfig(scheduler="round-robin")``
+            or ``"acmp"`` to time-multiplex.
         DeadlockError
             If the threads stop making progress.
         TraceError
@@ -213,6 +219,12 @@ class Machine:
         _FALLBACKS.inc(result.n_burst_fallbacks)
         _CYCLES.inc(result.total_cycles)
         _INSTRUCTIONS.inc(sum(result.instructions))
+        if result.sched.preemptions:
+            _PREEMPTIONS.inc(result.sched.preemptions)
+        if result.sched.migrations:
+            _MIGRATIONS.inc(result.sched.migrations)
+        if result.sched.involuntary_wait_cycles:
+            _SCHED_WAIT.inc(result.sched.involuntary_wait_cycles)
         for ph in result.phase_stats.phases():
             _PHASE_BUSY.inc(result.phase_stats.busy_cycles(ph), phase=ph)
             _PHASE_WAIT.inc(result.phase_stats.wait_cycles(ph), phase=ph)
@@ -222,26 +234,36 @@ class Machine:
         self, program: TraceProgram, max_cycles: "int | None" = None
     ) -> SimulationResult:
         """The actual discrete-event loop behind :meth:`run`."""
-        if program.n_threads > self.config.n_cores:
+        scheduled = self.config.scheduler != "pinned"
+        if program.n_threads > self.config.n_cores and not scheduled:
             raise ValueError(
                 f"program has {program.n_threads} threads but machine has "
-                f"{self.config.n_cores} cores (one thread per core)"
+                f"{self.config.n_cores} cores; the pinned scheduler does "
+                f"not time-multiplex — configure "
+                f"MachineConfig(scheduler='round-robin') or "
+                f"scheduler='acmp' to oversubscribe"
             )
 
         # engine priority: batch -> fast -> reference (each gate falls
-        # through to the next when the configuration rules it out)
+        # through to the next when the configuration rules it out; any
+        # non-pinned scheduler forces the reference engine)
         from repro.simx.batch import run_batch, supports_batch_path
 
         if supports_batch_path(self.config, max_cycles):
             return run_batch(self.config, program)
 
         coherence = CoherenceController(self.config)
+        # pinned: thread i owns core i, so only n_threads cores are live.
+        # time-multiplexed: threads move, so all n_cores are live and a
+        # thread's L1/perf identity follows the physical core under it.
         cores = [
             CoreModel(
                 i, self.config.core, coherence,
                 perf_factor=self.config.perf_factor(i),
             )
-            for i in range(program.n_threads)
+            for i in range(
+                self.config.n_cores if scheduled else program.n_threads
+            )
         ]
         if supports_fast_path(self.config, max_cycles):
             compiled = compile_program(program, self.config.line_size)
@@ -259,6 +281,13 @@ class Machine:
         ops_executed = 0
         burst_fallbacks = 0
         stats = PhaseStats()
+        scheduler = build_scheduler(self.config)
+
+        def charge_wait(ctx: ThreadContext, cycles: int) -> None:
+            """Attribute run-queue delay to the thread's current phase."""
+            stats.add_wait(ctx.current_phase(), ctx.tid, cycles)
+
+        scheduler.attach(threads, charge_wait)
         barrier_arrivals: dict[int, dict[int, int]] = {}
         lock_holder: dict[int, int] = {}
         lock_waiters: dict[int, list[int]] = {}
@@ -286,6 +315,7 @@ class Machine:
                 ctx.clock = release
                 ctx.state = _State.RUNNABLE
                 ctx.barrier_id = None
+                scheduler.on_unblock(ctx)
 
         def run_burst(ctx: _ThreadCtx, burst: Burst) -> None:
             """Execute a fused run of private ops in one scheduler step.
@@ -363,6 +393,7 @@ class Machine:
                         f"thread {ctx.tid} finished inside phases {ctx.phase_stack}"
                     ) from None
                 ctx.state = _State.DONE
+                scheduler.on_done(ctx)
                 return
 
             if type(op) is Burst:
@@ -370,24 +401,35 @@ class Machine:
                 return
             ops_executed += 1
             if isinstance(op, Compute):
-                cycles = cores[ctx.tid].compute_cycles(op.instructions)
+                cycles = cores[ctx.core].compute_cycles(op.instructions)
                 stats.add_busy(ctx.current_phase(), ctx.tid, cycles)
                 ctx.clock += cycles
+                if scheduled:
+                    ctx.instructions += op.instructions
+                    scheduler.on_charge(ctx, cycles)
             elif isinstance(op, Load):
                 snapshot = replace(coherence.stats)
-                cycles = cores[ctx.tid].load_cycles(op.addr, ctx.clock)
+                cycles = cores[ctx.core].load_cycles(op.addr, ctx.clock)
                 charge_coherence(ctx.current_phase(), snapshot)
                 stats.add_busy(ctx.current_phase(), ctx.tid, cycles)
                 ctx.clock += cycles
+                if scheduled:
+                    ctx.instructions += 1
+                    scheduler.on_charge(ctx, cycles)
             elif isinstance(op, Store):
                 snapshot = replace(coherence.stats)
-                cycles = cores[ctx.tid].store_cycles(op.addr, ctx.clock)
+                cycles = cores[ctx.core].store_cycles(op.addr, ctx.clock)
                 charge_coherence(ctx.current_phase(), snapshot)
                 stats.add_busy(ctx.current_phase(), ctx.tid, cycles)
                 ctx.clock += cycles
+                if scheduled:
+                    ctx.instructions += 1
+                    scheduler.on_charge(ctx, cycles)
             elif isinstance(op, PhaseBegin):
                 ctx.phase_stack.append(op.phase)
                 stats.note_begin(op.phase, ctx.clock)
+                if scheduled:
+                    scheduler.on_phase_change(ctx)
             elif isinstance(op, PhaseEnd):
                 if not ctx.phase_stack or ctx.phase_stack[-1] != op.phase:
                     raise TraceError(
@@ -396,6 +438,8 @@ class Machine:
                     )
                 ctx.phase_stack.pop()
                 stats.note_end(op.phase, ctx.clock)
+                if scheduled:
+                    scheduler.on_phase_change(ctx)
             elif isinstance(op, Barrier):
                 arrivals = barrier_arrivals.setdefault(op.barrier_id, {})
                 if ctx.tid in arrivals:
@@ -406,6 +450,7 @@ class Machine:
                 arrivals[ctx.tid] = ctx.clock
                 ctx.state = _State.AT_BARRIER
                 ctx.barrier_id = op.barrier_id
+                scheduler.on_block(ctx)
                 if len(arrivals) == program.n_threads:
                     release_barrier(op.barrier_id)
             elif isinstance(op, Lock):
@@ -415,9 +460,12 @@ class Machine:
                     cycles = self.config.lock_acquire_latency
                     stats.add_busy(ctx.current_phase(), ctx.tid, cycles)
                     ctx.clock += cycles
+                    if scheduled:
+                        scheduler.on_charge(ctx, cycles)
                 else:
                     lock_waiters.setdefault(op.lock_id, []).append(ctx.tid)
                     ctx.state = _State.WAIT_LOCK
+                    scheduler.on_block(ctx)
             elif isinstance(op, Unlock):
                 if lock_holder.get(op.lock_id) != ctx.tid:
                     raise TraceError(
@@ -438,13 +486,18 @@ class Machine:
                     stats.add_busy(w.current_phase(), next_tid, cycles)
                     w.clock += cycles
                     w.state = _State.RUNNABLE
+                    # the handover acquire is charged before the waiter is
+                    # re-dispatched, so it never counts against a quantum
+                    scheduler.on_unblock(w)
             else:  # pragma: no cover - exhaustive over Op
                 raise TraceError(f"unknown op {op!r}")
 
-        # main scheduling loop: always advance the earliest runnable thread
+        # main loop: the scheduler names the next thread to advance (for
+        # pinned dispatch this is the pre-refactor rule — the earliest
+        # runnable thread — verbatim)
         while True:
-            runnable = [t for t in threads if t.state is _State.RUNNABLE]
-            if not runnable:
+            nxt = scheduler.next_thread()
+            if nxt is None:
                 if all(t.state is _State.DONE for t in threads):
                     break
                 stuck = {
@@ -455,7 +508,6 @@ class Machine:
                     f"(pending barriers: {list(barrier_arrivals)}, "
                     f"held locks: {lock_holder})"
                 )
-            nxt = min(runnable, key=lambda t: t.clock)
             if max_cycles is not None and nxt.clock > max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded max_cycles={max_cycles:,} "
@@ -471,8 +523,13 @@ class Machine:
             thread_cycles=tuple(t.clock for t in threads),
             phase_stats=stats,
             coherence=coherence.stats,
-            instructions=tuple(c.instructions_retired for c in cores),
+            instructions=(
+                tuple(t.instructions for t in threads)
+                if scheduled
+                else tuple(c.instructions_retired for c in cores)
+            ),
             coherence_by_phase=phase_coherence,
+            sched=scheduler.stats,
             engine="fast" if compiled is not None else "reference",
             n_ops=ops_executed,
             n_bursts=compiled.n_bursts if compiled is not None else 0,

@@ -12,7 +12,26 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
-__all__ = ["PhaseStats"]
+__all__ = ["PhaseStats", "SchedStats"]
+
+
+@dataclass
+class SchedStats:
+    """Thread-dispatch accounting (repro.simx.sched).
+
+    ``dispatches`` — times a thread was placed on a core (includes the
+    initial placement); ``preemptions`` — involuntary context switches
+    (quantum expiry or big-core eviction); ``migrations`` — dispatches onto
+    a different core than the thread's previous one; ``involuntary_wait_cycles``
+    — cycles runnable threads spent queued waiting for a core (charged as
+    phase wait time too).  All zero under the pinned scheduler.
+    """
+
+    scheduler: str = "pinned"
+    dispatches: int = 0
+    preemptions: int = 0
+    migrations: int = 0
+    involuntary_wait_cycles: int = 0
 
 
 @dataclass

@@ -40,6 +40,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Table II" in out  # description, not just the bare id
 
+    def test_list_json_includes_accepted_options(self, capsys):
+        import json
+
+        assert main(["list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        by_id = {e["id"]: e for e in entries}
+        for eid, knob in (("ext-oversubscription-sweep", "quantum"),
+                          ("ext-acmp-merge-policy", "quantum"),
+                          ("ext-priority-inversion-reduction", "quanta")):
+            assert by_id[eid]["declares_units"], eid
+            assert knob in by_id[eid]["accepted_options"], eid
+        # canonical key mirrors the legacy one for every experiment
+        for entry in entries:
+            assert entry["accepted_options"] == entry["options"]
+
     def test_run_parallel_flag(self, capsys):
         assert main(["run", "fig4", "--parallel", "2"]) == 0
         assert "fig4" in capsys.readouterr().out
@@ -159,6 +174,23 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "tiny" in out and "coherence" in out
+
+    def test_simulate_oversubscribed_with_scheduler(self, capsys, tmp_path):
+        from repro.simx import Compute, ThreadTrace, TraceProgram
+        from repro.simx.traceio import dump_program
+
+        prog = TraceProgram(
+            "wide", [ThreadTrace(t, [Compute(500)] * 4) for t in range(4)]
+        )
+        path = dump_program(prog, tmp_path / "wide.jsonl")
+        rc = main([
+            "simulate", str(path), "--cores", "2",
+            "--scheduler", "round-robin", "--quantum", "600",
+            "--migration-cost", "10",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "round-robin" in out and "preemptions" in out
 
 
 class TestVersion:

@@ -78,6 +78,17 @@ class TestDeclarations:
         )
         assert sum(u.kind == "hardware-model" for u in units) == 6
 
+    def test_scheduler_specs_are_registered_and_declare_units(self):
+        # one unit per sweep point, all simulator programs, distinct keys
+        for eid, expect in (("ext-oversubscription-sweep", 4),
+                            ("ext-acmp-merge-policy", 3),
+                            ("ext-priority-inversion-reduction", 3)):
+            assert eid in EXPERIMENTS, eid
+            units = declare_units(eid)
+            assert len(units) == expect, eid
+            assert all(u.kind == "sim-program" for u in units), eid
+            assert len({u.key for u in units}) == expect, eid
+
     def test_process_backend_units_are_not_cacheable(self):
         units = declare_units(
             "fig2", scale=0.03, thread_counts=(1, 2),

@@ -1,0 +1,83 @@
+"""Scheduler knobs: validation and cache-key visibility."""
+
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.simx import Compute, MachineConfig, ThreadTrace, TraceProgram
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(ValueError, match="scheduler"):
+        MachineConfig(n_cores=2, scheduler="lottery")
+
+
+def test_quantum_meaningless_for_pinned():
+    with pytest.raises(ValueError, match="pinned never preempts"):
+        MachineConfig(n_cores=2, quantum=100)
+
+
+def test_quantum_must_be_positive():
+    with pytest.raises(ValueError, match="quantum"):
+        MachineConfig(n_cores=2, scheduler="round-robin", quantum=0)
+
+
+def test_migration_cost_must_be_non_negative():
+    with pytest.raises(ValueError, match="migration_cost"):
+        MachineConfig(n_cores=2, scheduler="round-robin", migration_cost=-1)
+
+
+def test_migration_cost_meaningless_for_pinned():
+    with pytest.raises(ValueError, match="migration_cost"):
+        MachineConfig(n_cores=2, migration_cost=10)
+
+
+def test_unknown_acmp_policy_rejected():
+    with pytest.raises(ValueError, match="acmp_policy"):
+        MachineConfig(n_cores=2, scheduler="acmp", acmp_policy="biggest-first")
+
+
+def test_acmp_policy_requires_acmp_scheduler():
+    with pytest.raises(ValueError, match="acmp_policy"):
+        MachineConfig(
+            n_cores=2, scheduler="round-robin",
+            acmp_policy="reduction-owns-big",
+        )
+
+
+def test_round_robin_accepts_unset_quantum():
+    cfg = MachineConfig(n_cores=2, scheduler="round-robin")
+    assert cfg.quantum is None
+
+
+def test_scheduler_fields_are_content_hash_visible():
+    """The work-unit cache keys hash asdict(config): a scheduled run must
+    never satisfy a pinned lookup (or vice versa)."""
+    from repro.pipeline import sim_program_unit
+    from tests.sched.test_scheduler_behavior import chopped_compute
+
+    def builder():
+        return TraceProgram("p", [chopped_compute(0, 100)])
+
+    pinned = MachineConfig.baseline(n_cores=2)
+    rr = replace(pinned, scheduler="round-robin", quantum=100)
+    for field in ("scheduler", "quantum", "migration_cost", "acmp_policy"):
+        assert field in asdict(pinned)
+    keys = {
+        sim_program_unit(builder, {}, cfg).key
+        for cfg in (pinned, rr, replace(rr, quantum=200),
+                    replace(rr, migration_cost=5))
+    }
+    assert len(keys) == 4
+
+
+def test_error_message_points_at_the_scheduler_option():
+    from repro.simx import Machine
+
+    prog = TraceProgram("wide", [
+        ThreadTrace(t, [Compute(10)]) for t in range(3)
+    ])
+    with pytest.raises(ValueError) as exc:
+        Machine(MachineConfig.baseline(n_cores=2)).run(prog)
+    msg = str(exc.value)
+    assert "scheduler='round-robin'" in msg and "acmp" in msg
